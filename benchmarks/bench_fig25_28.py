@@ -1,0 +1,97 @@
+"""Figures 25-28: online-to-optimal cost ratio over (alpha, accuracy).
+
+One benchmark per lambda in {10, 100, 1000, 10000}.  Each regenerates
+the paper's 3-D surface as a text table (alpha rows x accuracy columns)
+and asserts the qualitative findings of Appendix J.2:
+
+* every ratio respects robustness ``1 + 1/alpha``; the 100%-accuracy
+  column respects consistency ``(5 + alpha)/3``;
+* the ``alpha = 1`` row is constant (predictions unused);
+* the minimum lies at (small alpha, high accuracy);
+* ``lambda = 10``: all ratios close to 1;
+* ``lambda = 10000``: ratios close to 1 except toward (0, 0).
+
+The timed portion is one full-accuracy simulation at alpha = 0.2 (the
+grid itself is computed once per lambda outside the timer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CostModel, LearningAugmentedReplication, OraclePredictor, simulate
+from repro.analysis.sweep import format_table, sweep_grid
+from repro.analysis.theory import consistency_bound, robustness_bound
+
+from conftest import ACCURACIES, ALPHAS, emit
+
+_GRIDS: dict[float, object] = {}
+_OPT_CACHE: dict[float, float] = {}
+
+
+def _grid(trace, lam):
+    if lam not in _GRIDS:
+        _GRIDS[lam] = sweep_grid(
+            trace, (lam,), ALPHAS, ACCURACIES, seed=0, optimal_cache=_OPT_CACHE
+        )
+    return _GRIDS[lam]
+
+
+def _check_and_emit(result, lam, figure):
+    lines = [format_table(result, lam, title=f"{figure}: lambda = {lam:g}")]
+    for p in result.points:
+        if p.alpha > 0:
+            assert p.ratio <= robustness_bound(p.alpha) + 1e-7, p
+        if p.accuracy == 1.0:
+            assert p.ratio <= consistency_bound(p.alpha) + 1e-7, p
+    # alpha = 1 row constant
+    row = [result.at(lam, 1.0, a).ratio for a in result.accuracies()]
+    assert max(row) - min(row) < 1e-9
+    # minimum at small alpha + perfect accuracy (paper's J.2 observation):
+    # the best cell must be in the top-accuracy column
+    mat = result.ratios_for_lambda(lam)
+    best_alpha_i, best_acc_j = np.unravel_index(np.argmin(mat), mat.shape)
+    assert best_acc_j == mat.shape[1] - 1
+    lines.append(
+        f"min ratio {mat.min():.4f} at alpha={result.alphas()[best_alpha_i]:g}, "
+        f"accuracy={result.accuracies()[best_acc_j]:.0%} "
+        f"(paper: minimum toward alpha->0, accuracy->100%)"
+    )
+    emit(f"{figure} (lambda={lam:g})", "\n".join(lines))
+    return mat
+
+
+@pytest.mark.parametrize(
+    "figure,lam",
+    [
+        ("Figure 25", 10.0),
+        ("Figure 26", 100.0),
+        ("Figure 27", 1000.0),
+        ("Figure 28", 10000.0),
+    ],
+)
+def test_fig25_28_grid(benchmark, paper_trace, figure, lam):
+    result = _grid(paper_trace, lam)
+    mat = _check_and_emit(result, lam, figure)
+
+    if lam == 10.0:
+        # paper: ratios close to 1 everywhere (gaps >> lambda)
+        assert mat.max() < 1.6
+    if lam == 10000.0:
+        # paper: "almost no difference ... unless both alpha and
+        # prediction accuracy approach 0": flat away from the corner,
+        # peaked at (alpha -> 0, accuracy -> 0)
+        away_from_corner = mat[2:, 1:]  # alpha >= 0.4, accuracy >= 20%
+        assert away_from_corner.max() < 1.35
+        assert mat[0, 0] == mat.max()  # the corner is the global peak
+        assert mat[:, -1].max() < consistency_bound(1.0)  # perfect: near 1
+
+    # timed unit: one oracle-prediction run at alpha = 0.2
+    model = CostModel(lam=lam, n=paper_trace.n)
+
+    def unit():
+        pol = LearningAugmentedReplication(OraclePredictor(paper_trace), 0.2)
+        return simulate(paper_trace, model, pol).total_cost
+
+    benchmark(unit)

@@ -1,0 +1,55 @@
+"""Section 9: the 3/2 consistency lower bound via the adaptive adversary.
+
+The adversary reacts to the algorithm's observed behaviour while feeding
+it perfectly correct predictions; any deterministic algorithm is forced
+to a ratio of at least 3/2.  We regenerate the series for Algorithm 1 at
+several alpha values and for the conventional algorithm.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConventionalReplication,
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    optimal_cost,
+)
+from repro.analysis.theory import deterministic_consistency_lower_bound
+from repro.workloads import LowerBoundAdversary
+
+from conftest import emit
+
+LAM = 100.0
+
+
+def test_section9_lower_bound(benchmark):
+    bound = deterministic_consistency_lower_bound()
+    lines = [
+        "Section 9: adaptive adversary vs deterministic algorithms "
+        f"(lower bound {bound:g}; predictions always correct)",
+        f"{'algorithm':<26} {'requests':>9} {'ratio':>8}",
+    ]
+    cases = [
+        ("algorithm1(alpha=0.3)", lambda: LearningAugmentedReplication(FixedPredictor(False), 0.3)),
+        ("algorithm1(alpha=0.5)", lambda: LearningAugmentedReplication(FixedPredictor(False), 0.5)),
+        ("algorithm1(alpha=0.8)", lambda: LearningAugmentedReplication(FixedPredictor(False), 0.8)),
+        ("conventional(alpha=1)", ConventionalReplication),
+    ]
+    for name, mk in cases:
+        for n_req in (100, 400, 1000):
+            adv = LowerBoundAdversary(lam=LAM, eps=LAM * 1e-4)
+            out = adv.run(mk(), n_requests=n_req)
+            opt = optimal_cost(out.trace, CostModel(lam=LAM, n=2))
+            ratio = out.result.total_cost / opt
+            lines.append(f"{name:<26} {n_req:>9} {ratio:>8.4f}")
+            if n_req >= 400:
+                assert ratio >= bound - 0.01, (name, n_req, ratio)
+    emit("Section 9 (3/2 lower bound)", "\n".join(lines))
+
+    def unit():
+        adv = LowerBoundAdversary(lam=LAM, eps=LAM * 1e-4)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        return adv.run(pol, n_requests=300).result.total_cost
+
+    benchmark(unit)

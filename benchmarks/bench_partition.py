@@ -1,0 +1,53 @@
+"""Partition-level verification of the Section 5 analysis at scale.
+
+Not a paper figure, but the paper's *proof structure*: every partition of
+the request sequence (induced by the optimal strategy) must satisfy the
+consistency bound with perfect predictions.  Running it on the full
+evaluation workload turns the proof into a measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CostModel,
+    LearningAugmentedReplication,
+    OraclePredictor,
+    simulate,
+)
+from repro.analysis.partition import partition_report
+from repro.analysis.theory import consistency_bound
+
+from conftest import emit
+
+
+def test_partition_bounds_at_scale(benchmark, paper_trace):
+    # a moderate slice keeps the partition scan affordable in CI
+    trace = paper_trace.slice_time(0.0, paper_trace.times[2000])
+    lam, alpha = 1000.0, 0.3
+    model = CostModel(lam=lam, n=trace.n)
+    pol = LearningAugmentedReplication(OraclePredictor(trace), alpha)
+    res = simulate(trace, model, pol)
+    parts = partition_report(trace, model, res, pol.classifications)
+
+    ratios = np.array([p.ratio for p in parts if p.opt > 0])
+    bound = consistency_bound(alpha)
+    assert ratios.max() <= bound + 1e-7
+    emit(
+        "Section 5 partition analysis (perfect predictions, lambda=1000)",
+        "\n".join(
+            [
+                f"{len(parts)} partitions over {len(trace)} requests",
+                f"per-partition ratio: max {ratios.max():.4f}, "
+                f"mean {ratios.mean():.4f}, median {np.median(ratios):.4f}",
+                f"consistency bound (5+alpha)/3 = {bound:.4f} — "
+                "holds for every partition",
+            ]
+        ),
+    )
+
+    def unit():
+        return len(partition_report(trace, model, res, pol.classifications))
+
+    benchmark(unit)

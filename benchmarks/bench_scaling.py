@@ -1,0 +1,60 @@
+"""Engineering benchmarks: simulator throughput and offline DP scaling.
+
+Not a paper figure — these justify that the reproduction comfortably
+handles the paper's workload sizes and beyond (the DP is O(m n), the
+simulator O(m log n) amortised).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConventionalReplication,
+    CostModel,
+    LearningAugmentedReplication,
+    OraclePredictor,
+    optimal_cost,
+    simulate,
+)
+from repro.workloads import poisson_trace
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("m", [1_000, 10_000, 40_000])
+def test_simulator_throughput(benchmark, m):
+    trace = poisson_trace(n=10, rate=1.0, horizon=float(m), seed=1)
+    model = CostModel(lam=50.0, n=10)
+
+    def unit():
+        pol = ConventionalReplication()
+        return simulate(trace, model, pol).total_cost
+
+    result = benchmark(unit)
+    assert result > 0
+    emit(
+        f"simulator throughput (m~{m})",
+        f"{len(trace)} requests simulated per call",
+    )
+
+
+@pytest.mark.parametrize("m", [1_000, 10_000, 40_000])
+def test_offline_dp_scaling(benchmark, m):
+    trace = poisson_trace(n=10, rate=1.0, horizon=float(m), seed=2)
+    model = CostModel(lam=50.0, n=10)
+    result = benchmark(lambda: optimal_cost(trace, model))
+    assert result > 0
+
+
+def test_end_to_end_ratio_paper_scale(benchmark, paper_trace):
+    """One complete experiment cell at the paper's full trace size."""
+    model = CostModel(lam=1000.0, n=paper_trace.n)
+    opt = optimal_cost(paper_trace, model)
+
+    def unit():
+        pol = LearningAugmentedReplication(OraclePredictor(paper_trace), 0.2)
+        return simulate(paper_trace, model, pol).total_cost / opt
+
+    ratio = benchmark(unit)
+    assert 1.0 <= ratio <= 2.0

@@ -1,0 +1,81 @@
+"""Figures 5 and 6: tightness of the robustness and consistency analyses.
+
+Regenerates the limit series: as the instance grows (m -> inf) and
+eps -> 0, the measured ratio must converge to ``1 + 1/alpha`` (Figure 5)
+and ``(5 + alpha)/3`` (Figure 6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    OraclePredictor,
+    optimal_cost,
+    simulate,
+)
+from repro.analysis.theory import consistency_bound, robustness_bound
+from repro.workloads import consistency_tight_trace, robustness_tight_trace
+
+from conftest import emit
+
+LAM = 100.0
+
+
+def test_fig5_robustness_tightness(benchmark):
+    lines = [
+        "Figure 5: robustness tight example (always-'beyond' predictions)",
+        f"{'alpha':>6} {'m':>6} {'measured':>9} {'limit 1+1/a':>12}",
+    ]
+    for alpha in (0.2, 0.5, 0.8, 1.0):
+        for m in (101, 1001, 4001):
+            tr = robustness_tight_trace(LAM, alpha, m=m, eps=LAM * 1e-5)
+            pol = LearningAugmentedReplication(FixedPredictor(False), alpha)
+            run = simulate(tr, CostModel(lam=LAM, n=2), pol)
+            ratio = run.total_cost / optimal_cost(tr, CostModel(lam=LAM, n=2))
+            lines.append(
+                f"{alpha:>6.1f} {m:>6} {ratio:>9.4f} "
+                f"{robustness_bound(alpha):>12.4f}"
+            )
+            if m >= 4001:
+                assert ratio == pytest.approx(robustness_bound(alpha), rel=2e-3)
+            assert ratio <= robustness_bound(alpha) + 1e-7
+    emit("Figure 5 (robustness tightness)", "\n".join(lines))
+
+    def unit():
+        tr = robustness_tight_trace(LAM, 0.5, m=2001, eps=LAM * 1e-5)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        return simulate(tr, CostModel(lam=LAM, n=2), pol).total_cost
+
+    benchmark(unit)
+
+
+def test_fig6_consistency_tightness(benchmark):
+    lines = [
+        "Figure 6: consistency tight example (perfect predictions)",
+        f"{'alpha':>6} {'cycles':>7} {'measured':>9} {'limit (5+a)/3':>14}",
+    ]
+    for alpha in (0.1, 0.4, 0.7, 1.0):
+        for cycles in (10, 100, 400):
+            tr = consistency_tight_trace(LAM, cycles=cycles, eps=LAM * 1e-6)
+            pol = LearningAugmentedReplication(OraclePredictor(tr), alpha)
+            run = simulate(tr, CostModel(lam=LAM, n=2), pol)
+            ratio = run.total_cost / optimal_cost(tr, CostModel(lam=LAM, n=2))
+            lines.append(
+                f"{alpha:>6.1f} {cycles:>7} {ratio:>9.4f} "
+                f"{consistency_bound(alpha):>14.4f}"
+            )
+            if cycles >= 100:
+                assert ratio == pytest.approx(consistency_bound(alpha), rel=1e-3)
+            assert ratio <= consistency_bound(alpha) + 1e-7
+    emit("Figure 6 (consistency tightness)", "\n".join(lines))
+
+    def unit():
+        tr = consistency_tight_trace(LAM, cycles=200, eps=LAM * 1e-6)
+        pol = LearningAugmentedReplication(OraclePredictor(tr), 0.4)
+        return simulate(tr, CostModel(lam=LAM, n=2), pol).total_cost
+
+    benchmark(unit)

@@ -1,0 +1,61 @@
+"""Figure 9: the counterexample refuting Wang et al. [17]'s claimed ratio.
+
+Series: the measured online-to-optimal ratio of Wang et al.'s algorithm
+on the paper's two-server instance, converging to 5/2 (> the claimed 2)
+as the request count grows and eps -> 0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostModel, WangReplication, optimal_cost, simulate
+from repro.analysis.theory import wang_claimed_ratio, wang_true_ratio_lower_bound
+from repro.workloads import wang_counterexample_trace
+
+from conftest import emit
+
+LAM = 100.0
+
+
+def test_fig9_wang_refutation(benchmark):
+    lines = [
+        "Figure 9: Wang et al. [17] counterexample "
+        f"(claimed ratio {wang_claimed_ratio():g}, true >= "
+        f"{wang_true_ratio_lower_bound():g})",
+        f"{'m':>6} {'online':>14} {'optimal':>14} {'ratio':>7}",
+    ]
+    last_ratio = 0.0
+    for m in (50, 200, 800, 3200):
+        tr = wang_counterexample_trace(LAM, m=m, eps=LAM * 1e-5)
+        model = CostModel(lam=LAM, n=2)
+        run = simulate(tr, model, WangReplication())
+        opt = optimal_cost(tr, model)
+        ratio = run.total_cost / opt
+        lines.append(f"{m:>6} {run.total_cost:>14,.0f} {opt:>14,.0f} {ratio:>7.4f}")
+        last_ratio = ratio
+    assert last_ratio > wang_claimed_ratio()  # the claim is refuted
+    assert last_ratio == pytest.approx(wang_true_ratio_lower_bound(), rel=1e-3)
+    emit("Figure 9 (Wang et al. refutation)", "\n".join(lines))
+
+    def unit():
+        tr = wang_counterexample_trace(LAM, m=800, eps=LAM * 1e-5)
+        return simulate(tr, CostModel(lam=LAM, n=2), WangReplication()).total_cost
+
+    benchmark(unit)
+
+
+def test_wang_with_distinct_storage_rates(benchmark):
+    """Sanity series: Wang et al. on its intended heterogeneous setting."""
+    from repro.workloads import uniform_random_trace
+
+    tr = uniform_random_trace(4, 400, horizon=4000.0, seed=3)
+    model = CostModel(lam=50.0, n=4, storage_rates=(1.0, 1.5, 2.0, 4.0))
+    run = simulate(tr, model, WangReplication())
+    assert run.total_cost > 0
+    emit(
+        "Wang et al. on heterogeneous storage rates",
+        f"4 servers, rates (1, 1.5, 2, 4): online cost {run.total_cost:,.0f}, "
+        f"{run.ledger.n_transfers} transfers",
+    )
+    benchmark(lambda: simulate(tr, model, WangReplication()).total_cost)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale control: set ``REPRO_BENCH_SCALE=full`` to run the paper's exact
+grid (11 x 11, 11688-request trace) — the default is a denser-than-
+readable 6 x 6 grid on the full-length trace, which reproduces every
+qualitative series at a fraction of the runtime.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads import ibm_like_trace
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+#: grid axes used by the figure benchmarks
+if FULL:
+    ALPHAS = tuple(round(0.1 * k, 1) for k in range(0, 11))
+    ACCURACIES = tuple(round(0.1 * k, 1) for k in range(0, 11))
+    TRACE_M = 11688
+else:
+    ALPHAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    ACCURACIES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    TRACE_M = 11688
+
+LAMBDAS = (10.0, 100.0, 1000.0, 10000.0)
+
+
+@pytest.fixture(scope="session")
+def paper_trace():
+    """The IBM-like 7-day, 10-server workload (Appendix J.1 substitute)."""
+    return ibm_like_trace(n=10, m=TRACE_M, seed=0)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block (visible with ``pytest -s``) and
+    append it to benchmarks/results.txt for EXPERIMENTS.md."""
+    block = f"\n### {title}\n{body}\n"
+    print(block)
+    out = os.path.join(os.path.dirname(__file__), "results.txt")
+    with open(out, "a", encoding="utf-8") as fh:
+        fh.write(block)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CDN scenario: replicating a hot object across edge PoPs.
+
+A content-delivery network serves one popular object from 12 points of
+presence.  Client demand is bursty (flash crowds) and skewed (a few PoPs
+see most traffic).  No oracle exists in production, so we use the
+*history-based* predictors — the realistic deployment mode of the
+paper's algorithm — and compare against the prediction-free baselines.
+
+Run:  python examples/cdn_replication.py
+"""
+
+from repro import (
+    AlwaysHold,
+    ConventionalReplication,
+    CostModel,
+    EwmaPredictor,
+    LastGapPredictor,
+    LearningAugmentedReplication,
+    MarkovChainPredictor,
+    NeverHold,
+    SlidingWindowPredictor,
+    optimal_cost,
+    simulate,
+)
+from repro.predictions import evaluate_predictor, realized_accuracy
+from repro.workloads import bursty_trace
+
+
+def main() -> None:
+    # flash-crowd traffic: bursts of closely spaced requests at one PoP,
+    # separated by quiet periods
+    trace = bursty_trace(
+        n=12,
+        n_bursts=250,
+        burst_size=8,
+        burst_spread=30.0,       # a burst spans ~30 s
+        quiet_gap=1800.0,        # ~30 min of quiet between bursts
+        seed=2024,
+    )
+    lam = 300.0  # transfer = 5 minutes of storage
+    model = CostModel(lam=lam, n=trace.n)
+    opt = optimal_cost(trace, model)
+
+    print(f"CDN workload: {len(trace)} requests, {trace.n} PoPs, "
+          f"span {trace.span / 3600:.1f} h")
+    print(f"optimal offline cost: {opt:,.0f}\n")
+
+    contenders = [
+        ("never replicate (origin only)", NeverHold()),
+        ("replicate everywhere", AlwaysHold()),
+        ("conventional (no predictions)", ConventionalReplication()),
+    ]
+    for name, predictor in (
+        ("EWMA", EwmaPredictor(decay=0.4)),
+        ("last-gap", LastGapPredictor()),
+        ("sliding-window", SlidingWindowPredictor(window=5)),
+        ("Markov", MarkovChainPredictor()),
+    ):
+        contenders.append(
+            (
+                f"Algorithm 1 + {name}",
+                LearningAugmentedReplication(predictor, alpha=0.25),
+            )
+        )
+
+    print(f"{'strategy':<34} {'cost':>12} {'ratio':>7} {'transfers':>10}")
+    for name, policy in contenders:
+        run = simulate(trace, model, policy)
+        print(
+            f"{name:<34} {run.total_cost:>12,.0f} "
+            f"{run.total_cost / opt:>7.3f} {run.ledger.n_transfers:>10}"
+        )
+
+    print("\nrealized prediction accuracy on this workload:")
+    for name, predictor in (
+        ("EWMA", EwmaPredictor(decay=0.4)),
+        ("last-gap", LastGapPredictor()),
+        ("sliding-window", SlidingWindowPredictor(window=5)),
+        ("Markov", MarkovChainPredictor()),
+    ):
+        outcomes = evaluate_predictor(trace, predictor, lam)
+        print(f"  {name:<16} {realized_accuracy(outcomes):6.1%}")
+
+    print(
+        "\nbursty traffic is highly predictable (a request inside a burst "
+        "is almost always followed within lambda), so even simple learned "
+        "predictors let Algorithm 1 approach the offline optimum while "
+        "the prediction-free baseline pays its full 2-competitive premium."
+    )
+
+
+if __name__ == "__main__":
+    main()

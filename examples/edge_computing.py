@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Edge-computing scenario: bounded-risk replication with flaky predictions.
+
+An edge platform caches a model artifact across sites.  A third-party
+forecaster predicts request inter-arrival times, but its quality swings
+between excellent and terrible (e.g. when traffic regime shifts).  The
+operator wants the upside of predictions *with a hard guarantee*: never
+pay more than ``2 + beta`` times the optimum.
+
+This is exactly the adapted Algorithm 1 of Section 8: it monitors an
+upper bound of the online-to-optimal ratio online and falls back to the
+conventional (2-competitive) behaviour whenever the monitor trips.
+
+Run:  python examples/edge_computing.py
+"""
+
+from repro import (
+    AdaptiveReplication,
+    CostModel,
+    LearningAugmentedReplication,
+    NoisyOraclePredictor,
+    optimal_cost,
+    simulate,
+)
+from repro.workloads import ibm_like_trace, robustness_tight_trace
+
+
+def compare(trace, lam, alpha, beta, accuracy, seed=0, warmup=100):
+    model = CostModel(lam=lam, n=trace.n)
+    opt = optimal_cost(trace, model)
+
+    plain = simulate(
+        trace,
+        model,
+        LearningAugmentedReplication(
+            NoisyOraclePredictor(trace, accuracy, seed=seed), alpha
+        ),
+    )
+    adaptive_policy = AdaptiveReplication(
+        NoisyOraclePredictor(trace, accuracy, seed=seed),
+        alpha,
+        beta=beta,
+        warmup=warmup,
+    )
+    adapted = simulate(trace, model, adaptive_policy)
+    fallback_frac = (
+        sum(1 for (_, _, f) in adaptive_policy.monitor_history if f)
+        / max(1, len(adaptive_policy.monitor_history))
+    )
+    return plain.total_cost / opt, adapted.total_cost / opt, fallback_frac
+
+
+def main() -> None:
+    alpha, beta = 0.15, 0.1
+    print(f"adaptive replication: alpha={alpha}, robustness target 2+beta="
+          f"{2 + beta}\n")
+
+    # regime 1: realistic workload, varying prediction quality
+    trace = ibm_like_trace(n=8, m=3000, span=200_000.0, seed=9)
+    lam = 1000.0
+    print(f"[edge workload] {len(trace)} requests, lambda={lam:g}")
+    print(f"{'accuracy':>9} {'plain ratio':>12} {'adaptive ratio':>15} "
+          f"{'fallback %':>11}")
+    for accuracy in (1.0, 0.8, 0.5, 0.2, 0.0):
+        plain, adapted, fb = compare(trace, lam, alpha, beta, accuracy)
+        print(f"{accuracy:>9.0%} {plain:>12.3f} {adapted:>15.3f} {fb:>11.1%}")
+
+    # regime 2: the worst case — the Figure 5 adversarial pattern, where
+    # plain Algorithm 1 with alpha=0.15 is pushed toward 1 + 1/alpha = 7.7
+    lam = 200.0
+    adversarial = robustness_tight_trace(lam, alpha, m=3000, eps=lam * 1e-4)
+    print(f"\n[adversarial regime] Figure 5 pattern, lambda={lam:g}")
+    plain, adapted, fb = compare(
+        adversarial, lam, alpha, beta, accuracy=0.0, warmup=50
+    )
+    print(f"  plain Algorithm 1 ratio:    {plain:.3f} "
+          f"(heading to {1 + 1 / alpha:.2f})")
+    print(f"  adaptive ratio:             {adapted:.3f} "
+          f"(target {2 + beta:.2f}, warm-up overhead included)")
+    print(f"  time in conventional mode:  {fb:.1%}")
+
+    print(
+        "\nthe adaptive variant tracks plain Algorithm 1 when predictions "
+        "help and caps the damage at the configured robustness when they "
+        "do not — the operator's guarantee holds in both regimes."
+    )
+
+
+if __name__ == "__main__":
+    main()

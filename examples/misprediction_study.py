@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Misprediction study: how prediction errors translate into cost.
+
+Section 8 of the paper bounds the online-cost increase caused by each
+mispredicted request: requests in ``M2`` (real gap in
+``(alpha*lambda, lambda]``) cost at most ``lambda`` extra, requests in
+``M3`` (gap beyond ``lambda``) at most ``(2 - alpha) * lambda``, and
+``M1`` mispredictions are free.  This script measures the actual
+increase against that bound (equation 11) across accuracy levels.
+
+Run:  python examples/misprediction_study.py
+"""
+
+from repro import (
+    CostModel,
+    LearningAugmentedReplication,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    optimal_cost,
+    simulate,
+)
+from repro.analysis.theory import misprediction_penalty_bound
+from repro.offline import opt_lower_bound
+from repro.predictions import classify_mispredictions, evaluate_predictor
+from repro.workloads import ibm_like_trace
+
+
+def main() -> None:
+    lam, alpha = 800.0, 0.3
+    trace = ibm_like_trace(n=10, m=4000, span=250_000.0, seed=17)
+    model = CostModel(lam=lam, n=trace.n)
+    opt = optimal_cost(trace, model)
+    opt_l = opt_lower_bound(trace, model)
+
+    perfect = simulate(
+        trace, model, LearningAugmentedReplication(OraclePredictor(trace), alpha)
+    )
+    print(
+        f"workload: {len(trace)} requests, lambda={lam:g}, alpha={alpha}\n"
+        f"optimal offline cost {opt:,.0f} (lower bound OPT_L {opt_l:,.0f})\n"
+        f"perfect-prediction online cost {perfect.total_cost:,.0f} "
+        f"(ratio {perfect.total_cost / opt:.3f})\n"
+    )
+
+    header = (
+        f"{'acc':>5} {'|M1|':>6} {'|M2|':>6} {'|M3|':>6} "
+        f"{'actual increase':>16} {'eq.(11) bound':>14} {'tightness':>10}"
+    )
+    print(header)
+    for accuracy in (0.95, 0.9, 0.8, 0.6, 0.4, 0.2, 0.0):
+        seed = 101
+        pred = NoisyOraclePredictor(trace, accuracy, seed=seed)
+        run = simulate(trace, model, LearningAugmentedReplication(pred, alpha))
+        outcomes = evaluate_predictor(
+            trace, NoisyOraclePredictor(trace, accuracy, seed=seed), lam
+        )
+        sets_ = classify_mispredictions(trace, outcomes, lam, alpha)
+        actual = run.total_cost - perfect.total_cost
+        bound = misprediction_penalty_bound(len(sets_.m2), len(sets_.m3), lam, alpha)
+        tightness = actual / bound if bound > 0 else float("nan")
+        print(
+            f"{accuracy:>5.0%} {len(sets_.m1):>6} {len(sets_.m2):>6} "
+            f"{len(sets_.m3):>6} {actual:>16,.0f} {bound:>14,.0f} "
+            f"{tightness:>10.2f}"
+        )
+
+    print(
+        "\nthe measured increase always stays below the bound; M1 "
+        "mispredictions (very short gaps) are indeed free, and the bound "
+        "is loose by design — it charges the worst case per request."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim lets ``python setup.py develop`` (which pip
+falls back to) work offline; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Online replication algorithms: the paper's Algorithm 1, its adaptive
+variant, and every baseline used in the evaluation."""
+
+from .adaptive import AdaptiveReplication
+from .conventional import ConventionalReplication
+from .learning_augmented import (
+    LearningAugmentedReplication,
+    RequestClassification,
+    RequestType,
+)
+from .naive import AlwaysHold, BlindFollowPredictions, NeverHold
+from .randomized import RandomizedSkiRental, sample_ski_rental_duration
+from .wang import WangReplication
+
+__all__ = [
+    "RandomizedSkiRental",
+    "sample_ski_rental_duration",
+    "LearningAugmentedReplication",
+    "RequestClassification",
+    "RequestType",
+    "AdaptiveReplication",
+    "ConventionalReplication",
+    "WangReplication",
+    "AlwaysHold",
+    "NeverHold",
+    "BlindFollowPredictions",
+]

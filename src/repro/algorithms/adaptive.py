@@ -1,0 +1,151 @@
+"""Adapted Algorithm 1 with bounded robustness (Section 8).
+
+The consistency/robustness trade-off of Algorithm 1 is unattractive when
+``alpha`` is small: robustness ``1 + 1/alpha`` explodes.  The paper's fix
+exploits that mispredictions *reveal themselves* (when a request arrives
+we learn whether the previous prediction was right) and monitors an upper
+bound of the online-to-optimal cost ratio online:
+
+* ``OPT_L`` — a lower bound on the optimal offline cost: per request,
+  ``lambda`` when the local gap exceeds ``lambda`` else the gap itself,
+  plus the uncovered part ``(t_i - t_{i-1} - lambda)`` of long global
+  gaps (the denominator of the paper's equation (11));
+* ``Online_U`` — an upper bound on the online cost: the Proposition 2
+  allocations of all arisen requests plus a conservative ``2 * lambda``
+  for each server's still-open tail (its pending regular copy plus the
+  worst-case misprediction penalty — both cases of Section 8's analysis
+  are bounded by ``2 * lambda``).
+
+Whenever ``Online_U / OPT_L > 2 + beta``, the intended duration after the
+current request is forced to ``lambda`` (the conventional 2-competitive
+behaviour); otherwise Algorithm 1 runs unchanged.  This maintains
+robustness ``2 + beta`` while retaining consistency on good predictions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.costs import CostModel
+from ..core.simulator import SimContext
+from ..core.trace import Request
+from ..predictions.base import Predictor
+from .learning_augmented import (
+    LearningAugmentedReplication,
+    RequestType,
+)
+
+__all__ = ["AdaptiveReplication"]
+
+
+class AdaptiveReplication(LearningAugmentedReplication):
+    """Algorithm 1 adapted to a robustness target of ``2 + beta``.
+
+    Parameters
+    ----------
+    predictor, alpha:
+        As in :class:`LearningAugmentedReplication`.
+    beta:
+        Robustness slack ``beta >= 0``; the monitored ratio is kept at or
+        below ``2 + beta``.
+    warmup:
+        Number of initial requests during which the original Algorithm 1
+        runs unconditionally while the monitors accumulate state (the
+        paper uses 100).
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        alpha: float,
+        beta: float,
+        warmup: int = 100,
+    ):
+        super().__init__(predictor, alpha)
+        if beta < 0:
+            raise ValueError(f"beta must be >= 0, got {beta}")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        self.beta = float(beta)
+        self.warmup = int(warmup)
+        self.name = (
+            f"adaptive(alpha={alpha:g}, beta={beta:g}, {predictor.name})"
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self, model: CostModel) -> None:
+        super().reset(model)
+        self.opt_lower = 0.0
+        self.online_upper_base = 0.0  # sum of Prop. 2 allocations so far
+        self._servers_seen: set[int] = {0}
+        self._prev_global_time = 0.0
+        self._requests_seen = 0
+        self._force_conventional = False
+        #: history of (request_index, monitored_ratio, forced) for analysis
+        self.monitor_history: list[tuple[int, float, bool]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def online_upper(self) -> float:
+        """Current ``Online_U``: allocations + 2*lambda per active server."""
+        assert self._model is not None
+        return self.online_upper_base + 2.0 * self._model.lam * len(
+            self._servers_seen
+        )
+
+    @property
+    def monitored_ratio(self) -> float:
+        """Current ``Online_U / OPT_L`` (inf while ``OPT_L = 0``)."""
+        if self.opt_lower <= 0.0:
+            return float("inf")
+        return self.online_upper / self.opt_lower
+
+    # ------------------------------------------------------------------
+    def _note_request(
+        self,
+        ctx: SimContext,
+        request: Request,
+        rtype: RequestType,
+        l_i: float,
+        t_prime: float,
+        t_p: float,
+    ) -> None:
+        assert self._model is not None
+        lam = self._model.lam
+        t = request.time
+        self._requests_seen += 1
+        self._servers_seen.add(request.server)
+
+        # --- OPT_L (denominator of eq. 11) -----------------------------
+        local_gap = t - t_p if not math.isnan(t_p) else float("inf")
+        self.opt_lower += lam if local_gap > lam else local_gap
+        global_gap = t - self._prev_global_time
+        if global_gap > lam:
+            self.opt_lower += global_gap - lam
+        self._prev_global_time = t
+
+        # --- Online_U (Prop. 2 allocations of arisen requests) ---------
+        if rtype is RequestType.TYPE_1:
+            self.online_upper_base += lam + (0.0 if math.isnan(l_i) else l_i)
+        elif rtype is RequestType.TYPE_2:
+            self.online_upper_base += (
+                lam + (t - t_prime) + (0.0 if math.isnan(l_i) else l_i)
+            )
+        else:  # Type-3 / Type-4: t_i - t_p(i)
+            self.online_upper_base += t - t_p
+
+        # --- trip / release the conventional fallback -------------------
+        forced = False
+        if self._requests_seen > self.warmup:
+            forced = self.monitored_ratio > 2.0 + self.beta
+        self._force_conventional = forced
+        self.monitor_history.append(
+            (request.index, self.monitored_ratio, forced)
+        )
+
+    # ------------------------------------------------------------------
+    def _duration_for(self, predicted_within: bool) -> float:
+        assert self._model is not None
+        if self._force_conventional:
+            return self._model.lam
+        return super()._duration_for(predicted_within)

@@ -1,0 +1,37 @@
+"""Prediction-free online baselines.
+
+``ConventionalReplication`` is Algorithm 1 with ``alpha = 1``: the
+intended duration after every request is exactly ``lambda`` regardless of
+predictions.  The paper (Section 8, Section 11) notes this is the best
+achievable deterministic online strategy without predictions, with a
+competitive ratio of 2 — improving on the ratio 3 of Wang et al. [16].
+"""
+
+from __future__ import annotations
+
+from ..predictions.base import Predictor
+from .learning_augmented import LearningAugmentedReplication
+
+__all__ = ["ConventionalReplication"]
+
+
+class _IgnoredPredictor(Predictor):
+    """Placeholder predictor; its output is irrelevant at ``alpha = 1``."""
+
+    name = "ignored"
+
+    def predict_within(self, server: int, time: float, lam: float) -> bool:
+        return False
+
+
+class ConventionalReplication(LearningAugmentedReplication):
+    """The 2-competitive prediction-free strategy (``alpha = 1``).
+
+    With ``alpha = 1`` both prediction branches of Algorithm 1 select the
+    same intended duration ``lambda``, so the predictor is never able to
+    influence behaviour; we pass a constant one for clarity.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(_IgnoredPredictor(), alpha=1.0)
+        self.name = "conventional(alpha=1)"

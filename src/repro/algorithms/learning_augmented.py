@@ -1,0 +1,267 @@
+"""Algorithm 1: Dynamic Replication with Predictions.
+
+This is the paper's primary contribution (Section 3).  Each server keeps
+a *regular copy* for an intended duration after serving a local request:
+
+* ``lambda`` when the next local request is predicted within ``lambda``;
+* ``alpha * lambda`` when predicted beyond, with ``alpha in (0, 1]`` the
+  distrust hyper-parameter (``alpha -> 0`` trusts predictions fully,
+  ``alpha = 1`` ignores them).
+
+When a regular copy expires while being the only copy in the system it
+becomes a *special copy* (tag ``K_j = 1``) and is kept until the next
+request anywhere: a local request renews it; a remote request is served
+by a transfer after which the special copy is dropped (so at least one
+copy always exists).
+
+Guarantees (proved in the paper, verified empirically by this repo's
+tests and benchmarks): ``(5 + alpha) / 3``-consistency and
+``(1 + 1/alpha)``-robustness.
+
+The implementation also classifies every request into the paper's
+Type-1/2/3/4 taxonomy (Section 4.1) and records the quantities (``l_i``,
+``t'_i``) needed for the Proposition 2 cost allocation, which powers both
+the analysis module and the adaptive variant of Section 8.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.costs import CostModel
+from ..core.policy import PolicyError, ReplicationPolicy
+from ..core.simulator import SimContext
+from ..core.trace import Request
+from ..predictions.base import Predictor
+
+__all__ = ["RequestType", "RequestClassification", "LearningAugmentedReplication"]
+
+
+class RequestType(enum.Enum):
+    """The paper's Section 4.1 request taxonomy.
+
+    * ``TYPE_1`` — served by a transfer from a *regular* copy;
+    * ``TYPE_2`` — served by a transfer from a *special* copy;
+    * ``TYPE_3`` — served by a local *regular* copy;
+    * ``TYPE_4`` — served by a local *special* copy.
+    """
+
+    TYPE_1 = 1
+    TYPE_2 = 2
+    TYPE_3 = 3
+    TYPE_4 = 4
+
+
+@dataclass(frozen=True)
+class RequestClassification:
+    """Per-request record backing the Proposition 2 cost allocation.
+
+    Attributes
+    ----------
+    request_index:
+        Global index of the request ``r_i``.
+    rtype:
+        The request's :class:`RequestType`.
+    l_i:
+        Intended duration of the regular copy at ``s[r_i]`` after
+        ``r_{p(i)}`` (``nan`` for the first request at a server, whose
+        allocation instead receives a trailing-copy duration).
+    t_prime:
+        Switch time of the serving special copy (Type-2/4 only, else
+        ``nan``).
+    t_i:
+        Arrival time.
+    t_p:
+        Time of the preceding local request ``r_{p(i)}`` (``nan`` for
+        first requests; 0.0 when the predecessor is the dummy request).
+    duration_set:
+        The new intended duration chosen after serving ``r_i``.
+    predicted_within:
+        The prediction consumed when serving ``r_i``.
+    """
+
+    request_index: int
+    rtype: RequestType
+    l_i: float
+    t_prime: float
+    t_i: float
+    t_p: float
+    duration_set: float
+    predicted_within: bool
+
+    @property
+    def allocated_cost(self) -> float:
+        """Proposition 2 allocation (excluding first-request trailing terms).
+
+        Type-1: ``l_i + lambda`` — the ``lambda`` term is added by the
+        caller (it needs the cost model); this property returns only the
+        storage component, i.e. everything except transfer costs.
+        """
+        if self.rtype is RequestType.TYPE_1:
+            return self.l_i
+        if self.rtype is RequestType.TYPE_2:
+            return (self.t_i - self.t_prime) + self.l_i
+        # Type-3 and Type-4: t_i - t_p(i)
+        return self.t_i - self.t_p
+
+
+class LearningAugmentedReplication(ReplicationPolicy):
+    """The paper's Algorithm 1.
+
+    Parameters
+    ----------
+    predictor:
+        Source of binary inter-request-time predictions.
+    alpha:
+        Distrust level in ``(0, 1]``.  ``alpha = 0`` is accepted when
+        ``allow_zero_alpha=True`` for studying the full-trust limit
+        (robustness is then unbounded, cf. Section 3).
+    allow_zero_alpha:
+        Permit ``alpha = 0`` (drop predicted-beyond copies immediately).
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        alpha: float,
+        allow_zero_alpha: bool = False,
+    ):
+        if not (alpha > 0.0 or (allow_zero_alpha and alpha == 0.0)) or alpha > 1.0:
+            raise ValueError(
+                f"alpha must be in (0, 1] (or 0 with allow_zero_alpha), got {alpha}"
+            )
+        self.predictor = predictor
+        self.alpha = float(alpha)
+        self.name = f"algorithm1(alpha={alpha:g}, {predictor.name})"
+        self._model: CostModel | None = None
+        # per-server intended duration set by the most recent local request
+        self._last_duration: dict[int, float] = {}
+        self.classifications: list[RequestClassification] = []
+        self._last_local_time: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def reset(self, model: CostModel) -> None:
+        if not model.uniform_storage:
+            raise PolicyError(
+                "Algorithm 1 assumes uniform storage rates (paper Section 2)"
+            )
+        self._model = model
+        self._last_duration = {}
+        self._last_local_time = {}
+        self.classifications = []
+
+    # ------------------------------------------------------------------
+    def _intended_duration(self, server: int, time: float) -> tuple[float, bool]:
+        """Duration from the prediction: ``lambda`` if within else ``alpha*lambda``."""
+        assert self._model is not None
+        lam = self._model.lam
+        within = self.predictor.predict_within(server, time, lam)
+        return self._duration_for(within), within
+
+    def _duration_for(self, predicted_within: bool) -> float:
+        """Map a prediction to an intended duration (adaptive overrides)."""
+        assert self._model is not None
+        lam = self._model.lam
+        return lam if predicted_within else self.alpha * lam
+
+    def _note_request(
+        self,
+        ctx: SimContext,
+        request: Request,
+        rtype: RequestType,
+        l_i: float,
+        t_prime: float,
+        t_p: float,
+    ) -> None:
+        """Hook called after serving/classifying ``request`` but before the
+        new intended duration is chosen (the adaptive variant updates its
+        cost monitors here)."""
+
+    def on_init(self, ctx: SimContext) -> None:
+        """Set the initial copy's intended duration from the ``r_0`` prediction."""
+        self.predictor.observe(0, 0.0)
+        duration, _ = self._intended_duration(0, 0.0)
+        rec = ctx.copy_record(0)
+        rec.intended_duration = duration
+        self._last_duration[0] = duration
+        self._last_local_time[0] = 0.0
+        ctx.schedule_expiry(0, duration)
+
+    # ------------------------------------------------------------------
+    def on_request(self, ctx: SimContext, request: Request) -> None:
+        assert self._model is not None
+        j = request.server
+        t = request.time
+        lam = self._model.lam
+
+        l_i = self._last_duration.get(j, float("nan"))
+        t_p = self._last_local_time.get(j, float("nan"))
+
+        if ctx.has_copy(j):
+            # lines 4-5: serve by the local copy (t_i <= E_j or K_j = 1)
+            special = ctx.is_special(j)
+            t_prime = ctx.copy_record(j).special_at if special else float("nan")
+            ctx.serve_local()
+            rtype = RequestType.TYPE_4 if special else RequestType.TYPE_3
+        else:
+            # lines 6-9: serve by a transfer from any server with a copy
+            source = self._pick_source(ctx)
+            special = ctx.is_special(source)
+            t_prime = ctx.copy_record(source).special_at if special else float("nan")
+            ctx.serve_via_transfer(source)
+            if special:
+                # lines 15-19: the special copy is dropped right after the
+                # outgoing transfer (the new copy at s_j keeps c >= 1)
+                ctx.create_copy(j, opening_request=request.index)
+                ctx.drop_copy(source)
+            else:
+                ctx.create_copy(j, opening_request=request.index)
+            rtype = RequestType.TYPE_2 if special else RequestType.TYPE_1
+
+        # lines 10-14: set the new intended duration from the prediction
+        self.predictor.observe(j, t)
+        self._note_request(ctx, request, rtype, l_i, t_prime, t_p)
+        duration, within = self._intended_duration(j, t)
+        if ctx.copy_record(j).opening_request != request.index:
+            ctx.renew_copy(j, duration, request.index)
+        rec = ctx.copy_record(j)
+        rec.intended_duration = duration
+        ctx.schedule_expiry(j, t + duration)
+        self._last_duration[j] = duration
+        self._last_local_time[j] = t
+
+        self.classifications.append(
+            RequestClassification(
+                request_index=request.index,
+                rtype=rtype,
+                l_i=l_i,
+                t_prime=t_prime,
+                t_i=t,
+                t_p=t_p,
+                duration_set=duration,
+                predicted_within=within,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def on_expiry(self, ctx: SimContext, server: int, time: float) -> None:
+        """Lines 20-25: drop the copy unless it is the system's last one."""
+        if ctx.copy_count == 1:
+            ctx.mark_special(server)
+        else:
+            ctx.drop_copy(server)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pick_source(ctx: SimContext) -> int:
+        """Deterministic transfer source: any holder (minimum index).
+
+        By Proposition 1 a special copy is always the only copy, so the
+        regular/special distinction of the source never depends on this
+        tie-break; costs are identical for all sources (uniform lambda).
+        """
+        holders = ctx.holders()
+        if not holders:
+            raise PolicyError("no copy in the system — invariant violated")
+        return min(holders)

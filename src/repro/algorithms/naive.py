@@ -1,0 +1,107 @@
+"""Naive baseline strategies.
+
+These are the extreme points of the storage/transfer trade-off plus the
+Section 3 strawman that trusts predictions unconditionally.  None has a
+bounded competitive ratio in general; they exist to anchor benchmark
+tables and to demonstrate *why* the paper's balancing is necessary.
+"""
+
+from __future__ import annotations
+
+from ..core.costs import CostModel
+from ..core.policy import ReplicationPolicy
+from ..core.simulator import SimContext
+from ..core.trace import Request
+from ..predictions.base import Predictor
+
+__all__ = ["AlwaysHold", "NeverHold", "BlindFollowPredictions"]
+
+
+class AlwaysHold(ReplicationPolicy):
+    """Create a copy at every server on first access and never drop it.
+
+    Minimises transfers (one per server) at unbounded storage cost; the
+    right extreme when requests are extremely dense everywhere.
+    """
+
+    name = "always-hold"
+
+    def reset(self, model: CostModel) -> None:
+        self._model = model
+
+    def on_request(self, ctx: SimContext, request: Request) -> None:
+        if ctx.has_copy(request.server):
+            ctx.serve_local()
+        else:
+            ctx.serve_via_transfer(min(ctx.holders()))
+            ctx.create_copy(request.server, opening_request=request.index)
+
+
+class NeverHold(ReplicationPolicy):
+    """Keep only the initial copy at server 0; serve all others by transfer.
+
+    Minimises storage (exactly one copy) at unbounded transfer cost; the
+    left extreme when requests are sparse.
+    """
+
+    name = "never-hold"
+
+    def reset(self, model: CostModel) -> None:
+        self._model = model
+
+    def on_request(self, ctx: SimContext, request: Request) -> None:
+        if ctx.has_copy(request.server):
+            ctx.serve_local()
+        else:
+            ctx.serve_via_transfer(min(ctx.holders()))
+
+
+class BlindFollowPredictions(ReplicationPolicy):
+    """Section 3's strawman: trust predictions unconditionally.
+
+    * predicted within ``lambda``: hold the copy until the next local
+      request, **however long that takes** (this is what breaks
+      robustness — a misprediction can cost unbounded storage);
+    * predicted beyond ``lambda``: drop the copy immediately after
+      serving, unless it is the system's only copy (kept as a special
+      copy until the next request anywhere, to preserve feasibility).
+
+    With perfect predictions this strategy is cost-optimal per server;
+    with mispredictions its competitive ratio is unbounded in both
+    directions (Section 3's discussion).
+    """
+
+    def __init__(self, predictor: Predictor):
+        self.predictor = predictor
+        self.name = f"blind-follow({predictor.name})"
+
+    def reset(self, model: CostModel) -> None:
+        self._model = model
+
+    def on_init(self, ctx: SimContext) -> None:
+        self.predictor.observe(0, 0.0)
+        if not self.predictor.predict_within(0, 0.0, self._model.lam):
+            # cannot drop the only copy: it simply persists as the last copy
+            ctx.mark_special(0)
+        # predicted within: hold until the next local request (no expiry)
+
+    def on_request(self, ctx: SimContext, request: Request) -> None:
+        j = request.server
+        if ctx.has_copy(j):
+            ctx.serve_local()
+            ctx.renew_copy(j, float("inf"), request.index)
+        else:
+            source = min(ctx.holders())
+            source_special = ctx.is_special(source)
+            ctx.serve_via_transfer(source)
+            ctx.create_copy(j, opening_request=request.index)
+            if source_special:
+                ctx.drop_copy(source)
+        self.predictor.observe(j, request.time)
+        if self.predictor.predict_within(j, request.time, self._model.lam):
+            return  # hold with no expiry until the next local request
+        # predicted beyond: drop right away unless it is the only copy
+        if ctx.copy_count == 1:
+            ctx.mark_special(j)
+        else:
+            ctx.drop_copy(j)

@@ -1,0 +1,98 @@
+"""Randomized ski-rental replication baseline.
+
+The paper's related work (Kumar et al. [8], Karlin et al. [6]) centres on
+the ski-rental problem, where randomization improves the deterministic
+factor 2 to ``e/(e-1) ~ 1.58`` in expectation.  Replication at a single
+server is ski-rental-like (hold = buy amortised per unit time, transfer
+= rent), so a natural baseline — and a candidate the paper implicitly
+compares against by fixing deterministic durations — draws each copy's
+intended duration from the classical optimal density
+
+    f(z) = e^z / (e - 1),  z in [0, 1]   (duration = z * lambda)
+
+independently per request.  The at-least-one-copy patch (special copies)
+is kept, as without it no strategy is feasible.
+
+This is *not* an algorithm from the paper; it is an extension baseline
+for the ablation benchmarks.  Its per-server expected competitive ratio
+against a non-adaptive adversary is ``e/(e-1)``, but the multi-server
+interaction (transfers can originate anywhere) means no global guarantee
+is claimed — the benchmarks measure it empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.costs import CostModel
+from ..core.policy import ReplicationPolicy
+from ..core.simulator import SimContext
+from ..core.trace import Request
+
+__all__ = ["RandomizedSkiRental", "sample_ski_rental_duration"]
+
+
+def sample_ski_rental_duration(rng: np.random.Generator, lam: float) -> float:
+    """One draw from the optimal randomized ski-rental density.
+
+    Inverse-CDF sampling of ``f(z) = e^z/(e-1)`` on ``[0, 1]``:
+    ``F(z) = (e^z - 1)/(e - 1)``, so ``z = ln(1 + u (e - 1))`` for
+    uniform ``u``.  Returns ``z * lam``.
+    """
+    u = rng.random()
+    z = float(np.log1p(u * (np.e - 1.0)))
+    return z * lam
+
+
+class RandomizedSkiRental(ReplicationPolicy):
+    """Hold each copy for an independently sampled random duration.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed (runs are reproducible given the seed).
+    scale:
+        Multiplier on the sampled duration (1.0 = classical ski-rental
+        thresholds in ``[0, lambda]``).
+    """
+
+    def __init__(self, seed: int = 0, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        self.seed = int(seed)
+        self.scale = float(scale)
+        self.name = f"randomized-ski-rental(seed={seed})"
+
+    def reset(self, model: CostModel) -> None:
+        self._model = model
+        self._rng = np.random.default_rng(self.seed)
+
+    def _duration(self) -> float:
+        return self.scale * sample_ski_rental_duration(self._rng, self._model.lam)
+
+    def on_init(self, ctx: SimContext) -> None:
+        d = self._duration()
+        ctx.copy_record(0).intended_duration = d
+        ctx.schedule_expiry(0, d)
+
+    def on_request(self, ctx: SimContext, request: Request) -> None:
+        j = request.server
+        if ctx.has_copy(j):
+            ctx.serve_local()
+            ctx.renew_copy(j, float("nan"), request.index)
+        else:
+            source = min(ctx.holders())
+            source_special = ctx.is_special(source)
+            ctx.serve_via_transfer(source)
+            ctx.create_copy(j, opening_request=request.index)
+            if source_special:
+                ctx.drop_copy(source)
+        d = self._duration()
+        ctx.copy_record(j).intended_duration = d
+        ctx.schedule_expiry(j, request.time + d)
+
+    def on_expiry(self, ctx: SimContext, server: int, time: float) -> None:
+        if ctx.copy_count == 1:
+            ctx.mark_special(server)
+        else:
+            ctx.drop_copy(server)

@@ -1,0 +1,95 @@
+"""The online algorithm of Wang et al. [17] (INFOCOM 2021).
+
+Reproduced from the paper's Section 11 description, where it serves as a
+baseline and as the subject of the counterexample (Figure 9) refuting the
+claimed competitive ratio of 2: the true ratio is at least 5/2 even with
+uniform storage rates.
+
+Servers may have distinct storage cost rates ``mu(s_0) <= ... <=
+mu(s_{n-1})`` (server 0 is the cheapest).  Behaviour:
+
+* after serving a local request, server ``s_i`` keeps the copy for
+  ``lambda / mu(s_i)`` time units (storage over this period costs exactly
+  one transfer);
+* a local request within the period renews it;
+* when server 0's copy expires: renew for another period if it is the
+  only copy, else drop;
+* when server ``i != 0``'s copy expires: drop unless it is the only copy;
+  if it is the only copy and this is the *first* expiry since the last
+  local request, renew once; on the *second* consecutive expiry, transfer
+  the object to server 0 and drop the local copy.
+"""
+
+from __future__ import annotations
+
+from ..core.costs import CostModel
+from ..core.policy import PolicyError, ReplicationPolicy
+from ..core.simulator import SimContext
+from ..core.trace import Request
+
+__all__ = ["WangReplication"]
+
+
+class WangReplication(ReplicationPolicy):
+    """Wang et al.'s storage-rate-aware online replication strategy."""
+
+    name = "wang2021"
+
+    def reset(self, model: CostModel) -> None:
+        rates = model.storage_rates
+        if any(rates[i] > rates[i + 1] for i in range(len(rates) - 1)):
+            raise PolicyError(
+                "WangReplication requires servers indexed by ascending "
+                "storage rate (mu(s_0) <= ... <= mu(s_{n-1}))"
+            )
+        self._model = model
+        # True when the server's only-copy has already been renewed once
+        # since its most recent local request
+        self._renewed_once: dict[int, bool] = {}
+
+    def _period(self, server: int) -> float:
+        return self._model.lam / self._model.rate(server)
+
+    def on_init(self, ctx: SimContext) -> None:
+        # the paper's boundary assumption: the object starts at s_0 and the
+        # first (dummy) request arises there at time 0
+        self._renewed_once[0] = False
+        ctx.schedule_expiry(0, self._period(0))
+
+    def on_request(self, ctx: SimContext, request: Request) -> None:
+        j = request.server
+        if ctx.has_copy(j):
+            ctx.serve_local()
+            ctx.renew_copy(j, self._period(j), request.index)
+        else:
+            source = min(ctx.holders())
+            ctx.serve_via_transfer(source)
+            ctx.create_copy(j, opening_request=request.index)
+            ctx.copy_record(j).intended_duration = self._period(j)
+        self._renewed_once[j] = False
+        ctx.schedule_expiry(j, request.time + self._period(j))
+
+    def on_expiry(self, ctx: SimContext, server: int, time: float) -> None:
+        only_copy = ctx.copy_count == 1
+        if server == 0:
+            if only_copy:
+                # cheapest server: keep renewing while it holds the last copy
+                ctx.schedule_expiry(0, time + self._period(0))
+            else:
+                ctx.drop_copy(0)
+            return
+        if not only_copy:
+            ctx.drop_copy(server)
+            return
+        if not self._renewed_once.get(server, False):
+            # first expiry since the last local request: renew once
+            self._renewed_once[server] = True
+            ctx.schedule_expiry(server, time + self._period(server))
+        else:
+            # second consecutive expiry: ship the object to the cheapest
+            # server and drop the local copy
+            ctx.transfer_copy(server, 0)
+            ctx.copy_record(0).intended_duration = self._period(0)
+            ctx.drop_copy(server)
+            self._renewed_once[server] = False
+            ctx.schedule_expiry(0, time + self._period(0))

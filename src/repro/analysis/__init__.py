@@ -1,0 +1,83 @@
+"""Competitive analysis, theory formulas, and the sweep harness."""
+
+from .competitive import (
+    RunAnalysis,
+    allocate_costs,
+    analyze_run,
+    competitive_ratio,
+    paper_total_cost,
+)
+from .metrics import (
+    ReplicaTimeline,
+    replica_timeline,
+    serve_latency_proxy,
+    special_copy_stats,
+    storage_utilization,
+    transfer_load,
+)
+from .partition import (
+    OptimalHoldings,
+    Partition,
+    find_partitions,
+    partition_report,
+    reconstruct_optimal_holdings,
+)
+from .plotting import ascii_heatmap, render_sweep_heatmap, sparkline
+from .sweep import (
+    PAPER_ACCURACIES,
+    PAPER_ALPHAS,
+    PAPER_LAMBDAS,
+    SweepPoint,
+    SweepResult,
+    algorithm1_factory,
+    format_table,
+    sweep_grid,
+)
+from .theory import (
+    adaptive_robustness_bound,
+    consistency_bound,
+    conventional_competitive_ratio,
+    deterministic_consistency_lower_bound,
+    misprediction_penalty_bound,
+    robustness_bound,
+    wang_claimed_ratio,
+    wang_true_ratio_lower_bound,
+)
+
+__all__ = [
+    "competitive_ratio",
+    "ReplicaTimeline",
+    "replica_timeline",
+    "serve_latency_proxy",
+    "special_copy_stats",
+    "storage_utilization",
+    "transfer_load",
+    "OptimalHoldings",
+    "Partition",
+    "find_partitions",
+    "partition_report",
+    "reconstruct_optimal_holdings",
+    "ascii_heatmap",
+    "render_sweep_heatmap",
+    "sparkline",
+    "RunAnalysis",
+    "analyze_run",
+    "paper_total_cost",
+    "allocate_costs",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_grid",
+    "format_table",
+    "algorithm1_factory",
+    "PAPER_ALPHAS",
+    "PAPER_LAMBDAS",
+    "PAPER_ACCURACIES",
+    "consistency_bound",
+    "robustness_bound",
+    "adaptive_robustness_bound",
+    "deterministic_consistency_lower_bound",
+    "conventional_competitive_ratio",
+    "misprediction_penalty_bound",
+    "wang_claimed_ratio",
+    "wang_true_ratio_lower_bound",
+]

@@ -1,0 +1,198 @@
+"""Competitive-ratio computation and the Section 4.1 cost allocation.
+
+Two independent accountings of an Algorithm 1 run are implemented:
+
+* :func:`paper_total_cost` — the paper's convention: transfers, plus for
+  every regular-copy period its realised storage, where trailing copies
+  (after each server's last request) are charged their *full intended
+  duration*, the regular copy opened by the final request and the
+  infinitely surviving special copy are excluded (Section 4.1's
+  bookkeeping);
+* :func:`allocate_costs` — the Proposition 2 per-request allocation,
+  plus the trailing-copy durations assigned to first requests.
+
+The paper asserts these are equal ("It is easy to verify that the sum of
+the costs allocated to all requests is equal to the total online cost");
+the test suite verifies the identity on thousands of traces, which pins
+down both the classifier and the simulator's lifecycle records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..algorithms.learning_augmented import (
+    LearningAugmentedReplication,
+    RequestClassification,
+    RequestType,
+)
+from ..core.costs import CostModel
+from ..core.simulator import SimulationResult, simulate
+from ..core.trace import Trace
+from ..offline.dp import optimal_cost
+
+__all__ = [
+    "competitive_ratio",
+    "RunAnalysis",
+    "analyze_run",
+    "paper_total_cost",
+    "allocate_costs",
+]
+
+
+def competitive_ratio(
+    online_cost: float, optimal: float
+) -> float:
+    """Online-to-optimal cost ratio (inf when the optimum is 0)."""
+    if optimal < 0 or online_cost < 0:
+        raise ValueError("costs must be non-negative")
+    if optimal == 0.0:
+        return float("inf") if online_cost > 0 else 1.0
+    return online_cost / optimal
+
+
+@dataclass(frozen=True)
+class RunAnalysis:
+    """Joint online/offline analysis of one simulation run."""
+
+    online_cost: float
+    optimal_cost: float
+    ratio: float
+    n_transfers: int
+    storage_cost: float
+    type_counts: dict[str, int]
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"online={self.online_cost:.6g} optimal={self.optimal_cost:.6g} "
+            f"ratio={self.ratio:.4f} transfers={self.n_transfers} "
+            f"types={self.type_counts}"
+        )
+
+
+def analyze_run(
+    trace: Trace,
+    model: CostModel,
+    policy: LearningAugmentedReplication,
+) -> RunAnalysis:
+    """Simulate ``policy`` on ``trace`` and compare with the exact optimum."""
+    result = simulate(trace, model, policy)
+    opt = optimal_cost(trace, model)
+    counts = {t.name: 0 for t in RequestType}
+    for c in policy.classifications:
+        counts[c.rtype.name] += 1
+    return RunAnalysis(
+        online_cost=result.total_cost,
+        optimal_cost=opt,
+        ratio=competitive_ratio(result.total_cost, opt),
+        n_transfers=result.ledger.n_transfers,
+        storage_cost=result.storage_cost,
+        type_counts=counts,
+    )
+
+
+def paper_total_cost(result: SimulationResult) -> float:
+    """Total online cost under the paper's Section 4.1 conventions.
+
+    Requires the run to have been simulated with ``drain=True`` (the
+    default) so every copy period's fate is known.  Per period opened by
+    request ``r_j`` at server ``s``:
+
+    * closed by renewal at the next local request: charge the realised
+      duration (includes any special phase — Type-4's allocation);
+    * closed by drop after an outgoing transfer from its special phase:
+      charge up to the drop (Type-2's allocation);
+    * closed by drop at expiry: charge the intended duration;
+    * still alive (the final special copy): charge only the intended
+      (regular) duration;
+    * opened by the final request ``r_m``: charge nothing.
+
+    Transfers are charged ``lambda`` each.
+    """
+    m = len(result.trace)
+    total = result.ledger.n_transfers * result.model.lam
+    for rec in result.copy_records:
+        if rec.opening_request == m:
+            continue  # the regular copy after the final request: excluded
+        if rec.closed_by == "renewed":
+            total += (rec.end - rec.start) * result.model.rate(rec.server)
+        elif rec.closed_by == "dropped":
+            total += (rec.end - rec.start) * result.model.rate(rec.server)
+        else:  # alive: the final special (or still-regular) copy
+            dur = rec.intended_duration
+            if math.isinf(dur):
+                raise ValueError(
+                    "paper_total_cost needs finite intended durations; "
+                    "was the policy Algorithm 1?"
+                )
+            total += dur * result.model.rate(rec.server)
+    return total
+
+
+def allocate_costs(
+    result: SimulationResult,
+    classifications: list[RequestClassification],
+) -> dict[int, float]:
+    """Proposition 2 allocation: cost charged to each request index.
+
+    * Type-1: ``l_i + lambda``;
+    * Type-2: ``(t_i - t'_i) + l_i + lambda``;
+    * Type-3: ``t_i - t_p(i)``;
+    * Type-4: ``t_i - t_p(i)``;
+    * first requests (``l_i`` undefined): receive one trailing regular
+      copy's intended duration each, matching the paper's assignment of
+      the ``n - 1`` post-final regular copies to the ``n - 1`` first
+      requests.
+
+    The sum of the returned values equals :func:`paper_total_cost` (an
+    identity asserted by the test suite).
+    """
+    lam = result.model.lam
+    alloc: dict[int, float] = {}
+    first_requests: list[int] = []
+    for c in classifications:
+        cost = 0.0
+        if c.rtype in (RequestType.TYPE_1, RequestType.TYPE_2):
+            cost += lam
+            if c.rtype is RequestType.TYPE_2:
+                cost += c.t_i - c.t_prime
+            if math.isnan(c.l_i):
+                first_requests.append(c.request_index)
+            else:
+                cost += c.l_i
+        else:
+            cost += c.t_i - c.t_p
+        alloc[c.request_index] = cost
+
+    # trailing regular copies (after the last request at each server other
+    # than s[r_m]) are assigned to first requests, one each
+    m = len(result.trace)
+    trailing: list[float] = []
+    for rec in result.copy_records:
+        if rec.opening_request == m:
+            continue
+        if rec.closed_by == "renewed":
+            continue
+        # dropped at expiry or alive: did it open at its server's last request?
+        if _is_last_local_request(result.trace, rec.opening_request, rec.server):
+            trailing.append(rec.intended_duration)
+    # each first request receives one trailing duration (order-insensitive
+    # for the sum identity; pair greedily)
+    for idx, dur in zip(sorted(first_requests), sorted(trailing)):
+        alloc[idx] = alloc.get(idx, 0.0) + dur
+    if len(first_requests) != len(trailing):
+        raise AssertionError(
+            f"paper's pairing broke: {len(first_requests)} first requests "
+            f"vs {len(trailing)} trailing copies"
+        )
+    return alloc
+
+
+def _is_last_local_request(trace: Trace, request_index: int, server: int) -> bool:
+    """True when ``request_index`` is the last request at ``server``
+    (index 0 refers to the dummy request at server 0)."""
+    for r in reversed(trace.requests):
+        if r.server == server:
+            return r.index == request_index
+    return server == 0 and request_index == 0

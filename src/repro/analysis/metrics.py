@@ -1,0 +1,157 @@
+"""Time-series instrumentation over simulation results.
+
+Operators care about more than the final cost: how many replicas exist
+over time, how transfer load distributes across servers, how often the
+system degenerates to a single (special) copy.  These metrics are all
+derived from the event log, so they work for every policy.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.events import EventKind
+from ..core.simulator import SimulationResult
+
+__all__ = [
+    "ReplicaTimeline",
+    "replica_timeline",
+    "transfer_load",
+    "serve_latency_proxy",
+    "special_copy_stats",
+    "storage_utilization",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaTimeline:
+    """Step function of the replica count over time.
+
+    ``times[k]`` is the instant the count changes to ``counts[k]``; the
+    function is right-continuous and starts at ``counts[0]`` (1 for the
+    initial copy).
+    """
+
+    times: np.ndarray
+    counts: np.ndarray
+
+    def at(self, t: float) -> int:
+        """Replica count at time ``t``."""
+        i = bisect_right(self.times, t) - 1
+        return int(self.counts[max(i, 0)])
+
+    def time_weighted_mean(self, horizon: float | None = None) -> float:
+        """Average replica count over ``[0, horizon]``."""
+        end = horizon if horizon is not None else float(self.times[-1])
+        if end <= 0:
+            return float(self.counts[0])
+        total = 0.0
+        for k in range(len(self.times)):
+            t0 = float(self.times[k])
+            t1 = float(self.times[k + 1]) if k + 1 < len(self.times) else end
+            t0, t1 = min(t0, end), min(t1, end)
+            if t1 > t0:
+                total += (t1 - t0) * float(self.counts[k])
+        return total / end
+
+    @property
+    def max_replicas(self) -> int:
+        return int(self.counts.max())
+
+
+def replica_timeline(result: SimulationResult) -> ReplicaTimeline:
+    """Extract the replica-count step function from the event log."""
+    times = [0.0]
+    counts = [0]
+    c = 0
+    for e in result.log:
+        if e.kind is EventKind.CREATE:
+            c += 1
+        elif e.kind is EventKind.DROP:
+            c -= 1
+        else:
+            continue
+        if e.time == times[-1]:
+            counts[-1] = c
+        else:
+            times.append(e.time)
+            counts.append(c)
+    return ReplicaTimeline(np.asarray(times), np.asarray(counts))
+
+
+def transfer_load(result: SimulationResult) -> dict[str, np.ndarray]:
+    """Per-server transfer traffic: incoming (dest) and outgoing (source).
+
+    Only request-serving and standalone transfers are counted (both are
+    ``SERVE_TRANSFER`` events in the log).
+    """
+    n = result.model.n
+    incoming = np.zeros(n, dtype=np.int64)
+    outgoing = np.zeros(n, dtype=np.int64)
+    for e in result.log.of_kind(EventKind.SERVE_TRANSFER):
+        incoming[e.server] += 1
+        if e.source >= 0:
+            outgoing[e.source] += 1
+    return {"incoming": incoming, "outgoing": outgoing}
+
+
+def serve_latency_proxy(result: SimulationResult) -> dict[str, float]:
+    """Fraction of requests served locally vs by transfer.
+
+    In a geo-distributed deployment, a transfer-served request incurs a
+    wide-area round trip; the local-serve fraction is the natural latency
+    proxy this cost model optimises indirectly.
+    """
+    total = len(result.serves)
+    if total == 0:
+        return {"local_fraction": 1.0, "transfer_fraction": 0.0, "requests": 0.0}
+    local = sum(1 for s in result.serves if s.local)
+    return {
+        "local_fraction": local / total,
+        "transfer_fraction": 1.0 - local / total,
+        "requests": float(total),
+    }
+
+
+def special_copy_stats(result: SimulationResult) -> dict[str, float]:
+    """How often and for how long the system ran on its last copy.
+
+    ``special_time`` sums the durations between each regular->special
+    switch and the copy's subsequent drop/renewal, clipped to the trace
+    span (Proposition 1 guarantees these never overlap).
+    """
+    span = result.trace.span
+    episodes = 0
+    special_time = 0.0
+    for rec in result.copy_records:
+        if not rec.is_special_at_end:
+            continue
+        episodes += 1
+        end = rec.end if rec.end == rec.end else span
+        start = min(rec.special_at, span)
+        end = min(end, span)
+        if end > start:
+            special_time += end - start
+    return {
+        "episodes": float(episodes),
+        "special_time": special_time,
+        "special_fraction": special_time / span if span > 0 else 0.0,
+    }
+
+
+def storage_utilization(result: SimulationResult) -> dict[int, float]:
+    """Fraction of the trace span each server held a copy."""
+    span = result.trace.span
+    out = {s: 0.0 for s in range(result.model.n)}
+    if span <= 0:
+        return out
+    for rec in result.copy_records:
+        end = rec.end if rec.end == rec.end else span
+        start = min(rec.start, span)
+        end = min(end, span)
+        if end > start:
+            out[rec.server] += (end - start) / span
+    return out

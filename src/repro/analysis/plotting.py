@@ -1,0 +1,103 @@
+"""Text-based rendering of the paper's 3-D figures.
+
+The evaluation environment has no plotting stack, so the Figures 25-32
+surfaces are rendered as ASCII heat maps: one character cell per
+(alpha, accuracy) grid point, shaded by the online-to-optimal ratio.
+The shapes the paper describes — the corner peak, the flat alpha=1 row,
+the valley toward (0, 100%) — are directly visible in the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sweep import SweepResult
+
+__all__ = ["ascii_heatmap", "render_sweep_heatmap", "sparkline"]
+
+#: shading ramp from low to high
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    row_labels: list[str],
+    col_labels: list[str],
+    title: str = "",
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render ``matrix`` as an ASCII heat map with a value legend.
+
+    Rows are printed top-to-bottom in the order given.  NaNs render as
+    ``?``.
+    """
+    mat = np.asarray(matrix, dtype=float)
+    if mat.ndim != 2:
+        raise ValueError(f"need a 2-D matrix, got shape {mat.shape}")
+    if mat.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"labels do not match matrix shape {mat.shape}: "
+            f"{len(row_labels)} rows, {len(col_labels)} cols"
+        )
+    finite = mat[np.isfinite(mat)]
+    lo = vmin if vmin is not None else (finite.min() if finite.size else 0.0)
+    hi = vmax if vmax is not None else (finite.max() if finite.size else 1.0)
+    spread = hi - lo
+
+    width = max(len(c) for c in col_labels) if col_labels else 1
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * 8 + " ".join(c.rjust(width) for c in col_labels)
+    lines.append(header)
+    for i, rl in enumerate(row_labels):
+        cells = []
+        for j in range(mat.shape[1]):
+            v = mat[i, j]
+            if not np.isfinite(v):
+                ch = "?"
+            elif spread <= 0:
+                ch = _RAMP[0]
+            else:
+                k = int((v - lo) / spread * (len(_RAMP) - 1) + 0.5)
+                ch = _RAMP[min(max(k, 0), len(_RAMP) - 1)]
+            cells.append((ch * min(width, 3)).rjust(width))
+        lines.append(f"{rl:>7} " + " ".join(cells))
+    lines.append(f"legend: '{_RAMP[0]}' = {lo:.3f}  ...  '{_RAMP[-1]}' = {hi:.3f}")
+    return "\n".join(lines)
+
+
+def render_sweep_heatmap(result: SweepResult, lam: float, title: str | None = None) -> str:
+    """Heat map of a sweep grid for one lambda (the Figures 25-28 view)."""
+    mat = result.ratios_for_lambda(lam)
+    rows = [f"a={a:g}" for a in result.alphas()]
+    cols = [f"{acc:.0%}" for acc in result.accuracies()]
+    return ascii_heatmap(
+        mat,
+        rows,
+        cols,
+        title=title if title is not None else f"ratio heat map, lambda={lam:g}",
+    )
+
+
+def sparkline(values, width: int | None = None) -> str:
+    """One-line trend rendering for benchmark series."""
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        return ""
+    if width is not None and vals.size > width:
+        idx = np.linspace(0, vals.size - 1, width).round().astype(int)
+        vals = vals[idx]
+    lo, hi = float(np.nanmin(vals)), float(np.nanmax(vals))
+    blocks = "▁▂▃▄▅▆▇█"
+    if hi <= lo:
+        return blocks[0] * vals.size
+    out = []
+    for v in vals:
+        if not np.isfinite(v):
+            out.append("?")
+        else:
+            k = int((v - lo) / (hi - lo) * (len(blocks) - 1) + 0.5)
+            out.append(blocks[min(max(k, 0), len(blocks) - 1)])
+    return "".join(out)

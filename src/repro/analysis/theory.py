@@ -1,0 +1,79 @@
+"""Closed-form theoretical quantities from the paper.
+
+These functions are the single source of truth for every bound checked in
+tests and printed next to measured values in benchmark tables.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "consistency_bound",
+    "robustness_bound",
+    "adaptive_robustness_bound",
+    "deterministic_consistency_lower_bound",
+    "conventional_competitive_ratio",
+    "wang_claimed_ratio",
+    "wang_true_ratio_lower_bound",
+    "misprediction_penalty_bound",
+]
+
+
+def consistency_bound(alpha: float) -> float:
+    """Algorithm 1's consistency ``(5 + alpha) / 3`` (Section 7, tight)."""
+    _check_alpha(alpha)
+    return (5.0 + alpha) / 3.0
+
+
+def robustness_bound(alpha: float) -> float:
+    """Algorithm 1's robustness ``1 + 1/alpha`` (Section 6, tight)."""
+    _check_alpha(alpha)
+    if alpha == 0.0:
+        return float("inf")
+    return 1.0 + 1.0 / alpha
+
+
+def adaptive_robustness_bound(beta: float) -> float:
+    """The adapted algorithm's robustness target ``2 + beta`` (Section 8)."""
+    if beta < 0:
+        raise ValueError(f"beta must be >= 0, got {beta}")
+    return 2.0 + beta
+
+
+def deterministic_consistency_lower_bound() -> float:
+    """No deterministic learning-augmented algorithm beats 3/2 (Section 9)."""
+    return 1.5
+
+
+def conventional_competitive_ratio() -> float:
+    """The prediction-free optimum: ratio 2 at ``alpha = 1`` (Section 8)."""
+    return 2.0
+
+
+def wang_claimed_ratio() -> float:
+    """Wang et al. [17]'s *claimed* competitive ratio (refuted in §11)."""
+    return 2.0
+
+
+def wang_true_ratio_lower_bound() -> float:
+    """The paper's counterexample ratio for Wang et al. [17] (Figure 9)."""
+    return 2.5
+
+
+def misprediction_penalty_bound(
+    n_m2: int, n_m3: int, lam: float, alpha: float
+) -> float:
+    """Numerator of equation (11): the online-cost increase caused by
+    mispredictions, ``lambda * |M2| + (2 - alpha) * lambda * |M3|``.
+
+    ``M1`` mispredictions (real gap <= ``alpha * lambda``) are harmless
+    and do not appear.
+    """
+    _check_alpha(alpha)
+    if n_m2 < 0 or n_m3 < 0:
+        raise ValueError("misprediction counts must be >= 0")
+    return lam * n_m2 + (2.0 - alpha) * lam * n_m3
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")

@@ -1,0 +1,200 @@
+"""Command-line interface for running the paper's experiments.
+
+Subcommands
+-----------
+``sweep``
+    The Appendix J grid (Figures 25-28): online-to-optimal cost ratios
+    over (alpha, accuracy) for one or more lambdas.
+``adaptive``
+    The adapted algorithm grid (Figures 29-32).
+``tight``
+    The tight examples (Figures 5 and 6) and their limit ratios.
+``wang``
+    The Wang et al. counterexample (Figure 9).
+``adversary``
+    The Section 9 lower-bound adversary.
+
+Examples::
+
+    repro-replication sweep --lambda 1000 --requests 2000
+    repro-replication tight --alpha 0.5
+    repro-replication wang --m 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .algorithms import (
+    AdaptiveReplication,
+    LearningAugmentedReplication,
+    WangReplication,
+)
+from .analysis.sweep import (
+    PAPER_ACCURACIES,
+    PAPER_ALPHAS,
+    format_table,
+    sweep_grid,
+)
+from .analysis.theory import consistency_bound, robustness_bound
+from .core import CostModel, simulate
+from .offline import optimal_cost
+from .predictions import FixedPredictor, NoisyOraclePredictor, OraclePredictor
+from .workloads import (
+    LowerBoundAdversary,
+    consistency_tight_trace,
+    ibm_like_trace,
+    robustness_tight_trace,
+    wang_counterexample_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro-replication",
+        description="Experiments for 'Cost-Driven Data Replication with "
+        "Predictions' (SPAA 2024)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("sweep", help="Figures 25-28 grid")
+    s.add_argument("--lambda", dest="lam", type=float, action="append",
+                   help="transfer cost (repeatable; default 1000)")
+    s.add_argument("--requests", type=int, default=2000,
+                   help="trace length (default 2000; paper uses 11688)")
+    s.add_argument("--servers", type=int, default=10)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--coarse", action="store_true",
+                   help="6x6 grid instead of the paper's 11x11")
+    s.add_argument("--heatmap", action="store_true",
+                   help="also render an ASCII heat map per lambda")
+
+    a = sub.add_parser("adaptive", help="Figures 29-32 grid")
+    a.add_argument("--lambda", dest="lam", type=float, default=1000.0)
+    a.add_argument("--beta", type=float, default=0.1)
+    a.add_argument("--requests", type=int, default=2000)
+    a.add_argument("--seed", type=int, default=0)
+
+    t = sub.add_parser("tight", help="Figures 5-6 tight examples")
+    t.add_argument("--alpha", type=float, default=0.5)
+    t.add_argument("--lambda", dest="lam", type=float, default=100.0)
+    t.add_argument("--m", type=int, default=2001)
+
+    w = sub.add_parser("wang", help="Figure 9 counterexample")
+    w.add_argument("--lambda", dest="lam", type=float, default=100.0)
+    w.add_argument("--m", type=int, default=1000)
+
+    v = sub.add_parser("adversary", help="Section 9 lower-bound adversary")
+    v.add_argument("--alpha", type=float, default=0.5)
+    v.add_argument("--lambda", dest="lam", type=float, default=100.0)
+    v.add_argument("--requests", type=int, default=500)
+    return p
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    lams = args.lam or [1000.0]
+    trace = ibm_like_trace(n=args.servers, m=args.requests, seed=args.seed)
+    if args.coarse:
+        alphas = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+        accs = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    else:
+        alphas, accs = PAPER_ALPHAS, PAPER_ACCURACIES
+    result = sweep_grid(trace, lams, alphas, accs, seed=args.seed)
+    for lam in lams:
+        print(format_table(result, lam))
+        if getattr(args, "heatmap", False):
+            from .analysis.plotting import render_sweep_heatmap
+
+            print(render_sweep_heatmap(result, lam))
+        print()
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    trace = ibm_like_trace(m=args.requests, seed=args.seed)
+    model = CostModel(lam=args.lam, n=trace.n)
+    opt = optimal_cost(trace, model)
+    print(f"lambda={args.lam:g} beta={args.beta:g} target<={2 + args.beta:g}")
+    print("alpha  accuracy  ratio")
+    for alpha in (0.1, 0.5, 1.0):
+        for acc in (0.0, 0.5, 1.0):
+            pred = (
+                OraclePredictor(trace)
+                if acc >= 1.0
+                else NoisyOraclePredictor(trace, acc, seed=args.seed)
+            )
+            policy = AdaptiveReplication(pred, alpha=alpha, beta=args.beta)
+            run = simulate(trace, model, policy)
+            print(f"{alpha:5.1f}  {acc:8.0%}  {run.total_cost / opt:6.3f}")
+    return 0
+
+
+def _cmd_tight(args: argparse.Namespace) -> int:
+    lam, alpha = args.lam, args.alpha
+    model = CostModel(lam=lam, n=2)
+
+    tr = robustness_tight_trace(lam, alpha, args.m)
+    pol = LearningAugmentedReplication(FixedPredictor(False), alpha)
+    run = simulate(tr, model, pol)
+    opt = optimal_cost(tr, model)
+    print(
+        f"Figure 5 (robustness):  ratio={run.total_cost / opt:.4f}  "
+        f"limit 1+1/alpha={robustness_bound(alpha):.4f}"
+    )
+
+    cycles = max(1, args.m // 3)
+    tr = consistency_tight_trace(lam, cycles=cycles)
+    pol = LearningAugmentedReplication(OraclePredictor(tr), alpha)
+    run = simulate(tr, model, pol)
+    opt = optimal_cost(tr, model)
+    print(
+        f"Figure 6 (consistency): ratio={run.total_cost / opt:.4f}  "
+        f"limit (5+alpha)/3={consistency_bound(alpha):.4f}"
+    )
+    return 0
+
+
+def _cmd_wang(args: argparse.Namespace) -> int:
+    tr = wang_counterexample_trace(args.lam, m=args.m)
+    model = CostModel(lam=args.lam, n=2)
+    run = simulate(tr, model, WangReplication())
+    opt = optimal_cost(tr, model)
+    print(
+        f"Figure 9 (Wang et al.): ratio={run.total_cost / opt:.4f}  "
+        "limit 5/2=2.5 (claimed 2 is refuted)"
+    )
+    return 0
+
+
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    adv = LowerBoundAdversary(lam=args.lam)
+    pol = LearningAugmentedReplication(FixedPredictor(False), args.alpha)
+    out = adv.run(pol, n_requests=args.requests)
+    opt = optimal_cost(out.trace, CostModel(lam=args.lam, n=2))
+    print(
+        f"Section 9 adversary vs alpha={args.alpha:g}: "
+        f"ratio={out.result.total_cost / opt:.4f} (lower bound 1.5)"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "sweep": _cmd_sweep,
+        "adaptive": _cmd_adaptive,
+        "tight": _cmd_tight,
+        "wang": _cmd_wang,
+        "adversary": _cmd_adversary,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

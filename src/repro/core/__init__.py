@@ -1,0 +1,37 @@
+"""Core substrate: traces, cost model, event log, and the simulator."""
+
+from .costs import CostLedger, CostModel
+from .events import Event, EventKind, EventLog
+from .policy import PolicyError, ReplicationPolicy
+from .simulator import (
+    CopyRecord,
+    InteractiveSimulation,
+    ServeRecord,
+    SimContext,
+    SimulationResult,
+    simulate,
+)
+from .trace import Request, Trace, TraceError, merge_traces
+from .validate import ValidationReport, validate_result
+
+__all__ = [
+    "CostLedger",
+    "CostModel",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "PolicyError",
+    "ReplicationPolicy",
+    "CopyRecord",
+    "InteractiveSimulation",
+    "ServeRecord",
+    "SimContext",
+    "SimulationResult",
+    "simulate",
+    "Request",
+    "Trace",
+    "TraceError",
+    "merge_traces",
+    "ValidationReport",
+    "validate_result",
+]

@@ -1,0 +1,133 @@
+"""Typed event log for replication simulations.
+
+Every state change in the simulator is recorded as an :class:`Event` so
+that tests can verify invariants (at-least-one-copy, storage integration,
+transfer sourcing) *post hoc* without instrumenting algorithm internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["EventKind", "Event", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of simulation events."""
+
+    REQUEST = "request"            # a request arises
+    SERVE_LOCAL = "serve_local"    # request served by a local copy
+    SERVE_TRANSFER = "serve_transfer"  # request served by an incoming transfer
+    CREATE = "create"              # copy created at a server
+    DROP = "drop"                  # copy dropped at a server
+    EXPIRE = "expire"              # intended duration of a copy elapsed
+    SPECIAL = "special"            # copy switched regular -> special (kept as last copy)
+    RENEW = "renew"                # copy renewed with a new intended duration
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One timestamped simulation event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the event.
+    kind:
+        The :class:`EventKind`.
+    server:
+        Primary server involved (destination for transfers).
+    source:
+        Source server for ``SERVE_TRANSFER`` events, else ``-1``.
+    request_index:
+        Global index of the triggering request, ``-1`` if none.
+    """
+
+    time: float
+    kind: EventKind
+    server: int
+    source: int = -1
+    request_index: int = -1
+
+
+@dataclass
+class EventLog:
+    """Append-only, time-ordered list of :class:`Event` records."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        """Append an event; time must be non-decreasing."""
+        if self.events and event.time < self.events[-1].time - 1e-12:
+            raise ValueError(
+                f"event log must be time-ordered: {event.time} < "
+                f"{self.events[-1].time}"
+            )
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def copy_count_trajectory(self) -> list[tuple[float, int]]:
+        """Reconstruct ``(time, #copies)`` after each create/drop event.
+
+        Counts start at zero; the simulator logs an explicit CREATE for
+        the initial copy at server 0, so full simulation logs begin with
+        ``(0.0, 1)``.  Used by tests to verify the at-least-one-copy
+        invariant independently of the simulator's own bookkeeping.
+        """
+        count = 0
+        traj: list[tuple[float, int]] = []
+        for e in self.events:
+            if e.kind is EventKind.CREATE:
+                count += 1
+                traj.append((e.time, count))
+            elif e.kind is EventKind.DROP:
+                count -= 1
+                traj.append((e.time, count))
+        return traj
+
+    def holdings_intervals(self) -> dict[int, list[tuple[float, float]]]:
+        """Per-server closed intervals during which a copy was held.
+
+        Reconstructed purely from CREATE/DROP events (simulation logs
+        include the initial copy's CREATE at time 0).  A copy still held
+        at the end of the log yields an interval closed at the last
+        event time.
+        """
+        open_at: dict[int, float] = {}
+        out: dict[int, list[tuple[float, float]]] = {}
+        last_t = 0.0
+        for e in self.events:
+            last_t = max(last_t, e.time)
+            if e.kind is EventKind.CREATE:
+                if e.server in open_at:
+                    raise ValueError(
+                        f"CREATE at server {e.server} already holding a copy"
+                    )
+                open_at[e.server] = e.time
+            elif e.kind is EventKind.DROP:
+                if e.server not in open_at:
+                    raise ValueError(
+                        f"DROP at server {e.server} without a copy"
+                    )
+                out.setdefault(e.server, []).append((open_at.pop(e.server), e.time))
+        for server, start in open_at.items():
+            out.setdefault(server, []).append((start, last_t))
+        return out
+
+    def verify_at_least_one_copy(self) -> None:
+        """Raise if the copy count ever reaches zero after the first
+        creation (the at-least-one-copy invariant)."""
+        for t, c in self.copy_count_trajectory():
+            if c < 1:
+                raise AssertionError(f"copy count dropped to {c} at time {t}")

@@ -1,0 +1,59 @@
+"""Abstract interface between the simulator and replication policies.
+
+A :class:`ReplicationPolicy` is an *online* decision maker: it observes
+requests one at a time (plus the expirations it scheduled itself) and
+reacts through a :class:`SimContext`, which exposes the only legal actions
+(serve, create/drop copies, transfer, schedule expirations).  The
+simulator owns all state and cost accounting; policies cannot corrupt the
+ledger or violate the at-least-one-copy invariant without an immediate
+error.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .costs import CostModel
+    from .simulator import SimContext
+    from .trace import Request
+
+__all__ = ["ReplicationPolicy", "PolicyError"]
+
+
+class PolicyError(RuntimeError):
+    """Raised when a policy performs an illegal action."""
+
+
+class ReplicationPolicy(abc.ABC):
+    """Base class for online replication strategies.
+
+    Lifecycle (driven by :func:`repro.core.simulator.simulate`):
+
+    1. :meth:`reset` — called once with the cost model before any event.
+    2. :meth:`on_init` — called at time 0 with the initial copy placed at
+       server 0; the policy may schedule its expiry.
+    3. :meth:`on_request` — called for each request in time order; the
+       policy **must** serve it (``ctx.serve_local`` or
+       ``ctx.serve_via_transfer``).
+    4. :meth:`on_expiry` — called when a scheduled expiry fires while the
+       server still holds a copy.
+    """
+
+    #: human-readable identifier used in reports and benchmark tables
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def reset(self, model: "CostModel") -> None:
+        """Prepare internal state for a fresh simulation."""
+
+    def on_init(self, ctx: "SimContext") -> None:
+        """React to the initial copy at server 0 (dummy request ``r_0``)."""
+
+    @abc.abstractmethod
+    def on_request(self, ctx: "SimContext", request: "Request") -> None:
+        """Serve ``request`` and update replication state."""
+
+    def on_expiry(self, ctx: "SimContext", server: int, time: float) -> None:
+        """React to the scheduled expiry of the copy at ``server``."""

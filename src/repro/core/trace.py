@@ -1,0 +1,282 @@
+"""Request traces for the data replication problem.
+
+A :class:`Trace` is the fundamental input to every algorithm in this
+package: a time-ordered sequence of data-access requests, each arising at
+one of ``n`` servers.  Following the paper's conventions (Section 2):
+
+* all request times are strictly increasing,
+* server ``0`` initially holds the only data copy,
+* a *dummy request* ``r_0`` arises at server ``0`` at time ``0``; it incurs
+  no service cost but anchors the initial copy's prediction.
+
+The dummy request is **not** stored in :attr:`Trace.requests`; it is
+implicit and exposed through helpers such as :meth:`Trace.with_dummy`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Request",
+    "Trace",
+    "TraceError",
+    "merge_traces",
+]
+
+
+class TraceError(ValueError):
+    """Raised when a request sequence violates the problem's assumptions."""
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """A single data-access request.
+
+    Attributes
+    ----------
+    time:
+        Arrival time ``t_i`` (seconds, or any consistent time unit).
+    server:
+        Index of the server ``s[r_i]`` at which the request arises,
+        ``0 <= server < n``.
+    index:
+        Position of the request in the global sequence (1-based, matching
+        the paper's ``r_1, r_2, ...``; the dummy request is index 0).
+    """
+
+    time: float
+    server: int
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TraceError(f"request time must be >= 0, got {self.time}")
+        if self.server < 0:
+            raise TraceError(f"server index must be >= 0, got {self.server}")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, validated request sequence over ``n`` servers.
+
+    Parameters
+    ----------
+    n:
+        Number of servers in the system.
+    requests:
+        The requests ``r_1, ..., r_m`` in strictly increasing time order.
+        The dummy request ``r_0`` (server 0, time 0) is implicit.
+
+    Notes
+    -----
+    Construction validates the paper's assumptions: strictly increasing
+    arrival times, all strictly positive (the dummy request occupies time
+    0), and all server indices within range.
+    """
+
+    n: int
+    requests: tuple[Request, ...]
+    _times: np.ndarray = field(init=False, repr=False, compare=False)
+    _servers: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __init__(self, n: int, requests: Iterable[Request | tuple[float, int]]):
+        if n <= 0:
+            raise TraceError(f"need at least one server, got n={n}")
+        normalized: list[Request] = []
+        for i, r in enumerate(requests):
+            if isinstance(r, Request):
+                normalized.append(Request(r.time, r.server, i + 1))
+            else:
+                t, s = r
+                normalized.append(Request(float(t), int(s), i + 1))
+        prev = 0.0
+        for r in normalized:
+            if r.time <= prev:
+                raise TraceError(
+                    "request times must be strictly increasing and > 0 "
+                    f"(violation at index {r.index}: {r.time} <= {prev})"
+                )
+            if r.server >= n:
+                raise TraceError(
+                    f"request {r.index} at server {r.server} but n={n}"
+                )
+            prev = r.time
+        object.__setattr__(self, "n", int(n))
+        object.__setattr__(self, "requests", tuple(normalized))
+        object.__setattr__(
+            self, "_times", np.array([r.time for r in normalized], dtype=float)
+        )
+        object.__setattr__(
+            self, "_servers", np.array([r.server for r in normalized], dtype=np.int64)
+        )
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, i: int) -> Request:
+        return self.requests[i]
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Arrival times as a float array (read-only view)."""
+        v = self._times.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def servers(self) -> np.ndarray:
+        """Server indices as an int array (read-only view)."""
+        v = self._servers.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def span(self) -> float:
+        """Time of the final request ``t_m`` (0 for an empty trace)."""
+        return float(self._times[-1]) if len(self.requests) else 0.0
+
+    @property
+    def servers_touched(self) -> tuple[int, ...]:
+        """Sorted indices of servers that receive at least one request."""
+        return tuple(int(s) for s in np.unique(self._servers))
+
+    def with_dummy(self) -> tuple[Request, ...]:
+        """The sequence including the implicit dummy request ``r_0``."""
+        return (Request(0.0, 0, 0),) + self.requests
+
+    def per_server_times(self) -> dict[int, np.ndarray]:
+        """Map each server to the sorted arrival times of its requests.
+
+        Server 0's list is prefixed with the dummy request time ``0.0``,
+        matching the paper's convention that ``r_0`` arises at ``s_1``.
+        """
+        out: dict[int, list[float]] = {s: [] for s in range(self.n)}
+        out[0].append(0.0)
+        for r in self.requests:
+            out[r.server].append(r.time)
+        return {s: np.asarray(ts, dtype=float) for s, ts in out.items()}
+
+    def preceding_local_index(self) -> list[int]:
+        """For each request ``r_i``, the global index of ``r_{p(i)}``.
+
+        Returns a list ``p`` of length ``m`` where ``p[i-1]`` is the
+        1-based global index of the preceding request at the same server,
+        ``0`` if the predecessor is the dummy request (server 0 only), and
+        ``-1`` if the request is the first ever at its server.
+        """
+        last_seen: dict[int, int] = {0: 0}
+        out: list[int] = []
+        for r in self.requests:
+            out.append(last_seen.get(r.server, -1))
+            last_seen[r.server] = r.index
+        return out
+
+    def inter_request_gaps(self) -> list[float]:
+        """Per-request gap ``t_i - t_{p(i)}``; ``inf`` for first requests.
+
+        The dummy request at time 0 counts as the predecessor for server 0.
+        """
+        last_time: dict[int, float] = {0: 0.0}
+        gaps: list[float] = []
+        for r in self.requests:
+            prev = last_time.get(r.server)
+            gaps.append(float("inf") if prev is None else r.time - prev)
+            last_time[r.server] = r.time
+        return gaps
+
+    def next_local_time(self) -> list[float]:
+        """For each request, the arrival time of the next request at the
+        same server (``inf`` if none).  Index 0 of the returned list
+        corresponds to the dummy request ``r_0``."""
+        seq = self.with_dummy()
+        nxt = [float("inf")] * len(seq)
+        last_pos: dict[int, int] = {}
+        for pos, r in enumerate(seq):
+            if r.server in last_pos:
+                nxt[last_pos[r.server]] = r.time
+            last_pos[r.server] = pos
+        return nxt
+
+    def slice_time(self, t_start: float, t_end: float) -> "Trace":
+        """Sub-trace of requests with ``t_start < t <= t_end``.
+
+        Times are **not** shifted; the result is useful for inspecting
+        windows of a longer trace.
+        """
+        lo = bisect_right(self._times, t_start)
+        hi = bisect_right(self._times, t_end)
+        return Trace(self.n, [(r.time, r.server) for r in self.requests[lo:hi]])
+
+    def request_at_or_after(self, t: float) -> Request | None:
+        """First request with arrival time ``>= t`` (None if past the end)."""
+        i = bisect_left(self._times, t)
+        return self.requests[i] if i < len(self.requests) else None
+
+    def count_in_window(self, server: int, t_start: float, t_end: float) -> int:
+        """Number of requests at ``server`` with ``t_start < t <= t_end``."""
+        return sum(
+            1
+            for r in self.requests
+            if r.server == server and t_start < r.time <= t_end
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_arrays(
+        times: Sequence[float] | np.ndarray,
+        servers: Sequence[int] | np.ndarray,
+        n: int | None = None,
+    ) -> "Trace":
+        """Build a trace from parallel arrays of times and server indices."""
+        times = np.asarray(times, dtype=float)
+        servers = np.asarray(servers, dtype=np.int64)
+        if times.shape != servers.shape:
+            raise TraceError(
+                f"times and servers must align, got {times.shape} vs {servers.shape}"
+            )
+        if n is None:
+            n = int(servers.max(initial=-1)) + 1 if len(servers) else 1
+        return Trace(n, list(zip(times.tolist(), servers.tolist())))
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics used in reports and sanity checks."""
+        gaps = [g for g in self.inter_request_gaps() if np.isfinite(g)]
+        return {
+            "n_servers": float(self.n),
+            "n_requests": float(len(self.requests)),
+            "span": self.span,
+            "mean_local_gap": float(np.mean(gaps)) if gaps else float("nan"),
+            "median_local_gap": float(np.median(gaps)) if gaps else float("nan"),
+            "servers_touched": float(len(self.servers_touched)),
+        }
+
+
+def merge_traces(traces: Iterable[Trace], n: int | None = None) -> Trace:
+    """Merge several traces into one global time-ordered trace.
+
+    Requests keep their server indices; a collision of identical arrival
+    times raises :class:`TraceError` (the paper assumes distinct times).
+    """
+    items: list[tuple[float, int]] = []
+    max_n = 0
+    for tr in traces:
+        max_n = max(max_n, tr.n)
+        items.extend((r.time, r.server) for r in tr.requests)
+    items.sort()
+    return Trace(n if n is not None else max_n, items)

@@ -1,0 +1,171 @@
+"""Post-hoc validation of simulation results.
+
+Downstream users writing their own :class:`ReplicationPolicy` can check a
+finished run against every system invariant the paper's model requires.
+The validator re-derives everything from the event log and lifecycle
+records — it does not trust the simulator's own bookkeeping — so it also
+guards this library against regressions (the test suite validates every
+policy shipped here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .events import EventKind
+from .simulator import SimulationResult
+
+__all__ = ["ValidationReport", "validate_result"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_result`.
+
+    ``violations`` is empty for a valid run; each entry is a
+    human-readable description of one broken invariant.
+    """
+
+    violations: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_invalid(self) -> None:
+        if self.violations:
+            raise AssertionError(
+                "invalid simulation result:\n  " + "\n  ".join(self.violations)
+            )
+
+
+def validate_result(result: SimulationResult) -> ValidationReport:
+    """Check every model invariant on a finished simulation.
+
+    Checks performed:
+
+    1. every request was served exactly once, in trace order;
+    2. local serves happened at servers holding a copy; transfer serves
+       at servers without one, from a server with one;
+    3. the copy count never dropped below one;
+    4. the ledger's storage equals the event-log holdings integrated over
+       ``[0, t_m]`` (per-server rates respected);
+    5. the transfer cost equals ``lambda`` times the transfer events;
+    6. copy records tile each server's holdings without overlap.
+    """
+    report = ValidationReport()
+    trace = result.trace
+    model = result.model
+
+    def fail(msg: str) -> None:
+        report.violations.append(msg)
+
+    # (1) serve completeness and order -------------------------------
+    report.checks_run += 1
+    served = [s.request.index for s in result.serves]
+    expected = [r.index for r in trace]
+    if served != expected:
+        fail(f"serve order mismatch: {served[:5]}... vs {expected[:5]}...")
+
+    # (2) serve legality against reconstructed holdings ---------------
+    report.checks_run += 1
+    holdings: dict[int, bool] = {}
+    holding_since: dict[int, float] = {}
+    serve_by_index = {s.request.index: s for s in result.serves}
+    copy_ok = True
+    count = 0
+    min_count_after_first = None
+    for e in result.log:
+        if e.kind is EventKind.CREATE:
+            if holdings.get(e.server):
+                fail(f"double CREATE at server {e.server}, t={e.time}")
+                copy_ok = False
+            holdings[e.server] = True
+            holding_since[e.server] = e.time
+            count += 1
+        elif e.kind is EventKind.DROP:
+            if not holdings.get(e.server):
+                fail(f"DROP without copy at server {e.server}, t={e.time}")
+                copy_ok = False
+            holdings[e.server] = False
+            count -= 1
+            if min_count_after_first is None or count < min_count_after_first:
+                min_count_after_first = count
+        elif e.kind is EventKind.SERVE_LOCAL:
+            if not holdings.get(e.server):
+                fail(
+                    f"local serve at server {e.server} (t={e.time}) "
+                    "without a copy"
+                )
+        elif e.kind is EventKind.SERVE_TRANSFER:
+            if e.source >= 0 and not holdings.get(e.source):
+                fail(
+                    f"transfer serve from {e.source} (t={e.time}) "
+                    "without a source copy"
+                )
+            if e.request_index >= 0 and holdings.get(e.server):
+                fail(
+                    f"transfer serve at holder {e.server} (t={e.time}); "
+                    "should have served locally"
+                )
+
+    # (3) at-least-one-copy -------------------------------------------
+    report.checks_run += 1
+    if copy_ok and min_count_after_first is not None and min_count_after_first < 1:
+        fail(f"copy count dropped to {min_count_after_first}")
+
+    # (4) storage integral --------------------------------------------
+    report.checks_run += 1
+    span = trace.span
+    expected_storage = 0.0
+    if copy_ok:
+        for server, ivs in result.log.holdings_intervals().items():
+            for a, b in ivs:
+                lo, hi = min(a, span), min(max(b, a), span)
+                # copies still held at the end extend to span
+                expected_storage += (hi - lo) * model.rate(server)
+        # copies never dropped extend to span: holdings_intervals closes
+        # them at the last event time; extend to span explicitly
+        last_event_t = result.log.events[-1].time if len(result.log) else 0.0
+        for server, still in holdings.items():
+            if still and last_event_t < span:
+                expected_storage += (span - last_event_t) * model.rate(server)
+        if not np.isclose(
+            expected_storage, result.ledger.storage, rtol=1e-9, atol=1e-6
+        ):
+            fail(
+                f"storage ledger {result.ledger.storage} != event-log "
+                f"integral {expected_storage}"
+            )
+
+    # (5) transfer cost ------------------------------------------------
+    report.checks_run += 1
+    n_transfer_events = len(result.log.of_kind(EventKind.SERVE_TRANSFER))
+    if n_transfer_events != result.ledger.n_transfers:
+        fail(
+            f"{n_transfer_events} transfer events vs ledger "
+            f"{result.ledger.n_transfers}"
+        )
+    if not np.isclose(
+        result.ledger.transfer, result.ledger.n_transfers * model.lam
+    ):
+        fail("transfer cost != n_transfers * lambda")
+
+    # (6) copy records tile holdings -----------------------------------
+    report.checks_run += 1
+    by_server: dict[int, list] = {}
+    for rec in result.copy_records:
+        by_server.setdefault(rec.server, []).append(rec)
+    for server, recs in by_server.items():
+        recs.sort(key=lambda r: r.start)
+        for a, b in zip(recs, recs[1:]):
+            a_end = a.end if a.end == a.end else float("inf")
+            if a_end > b.start + 1e-9:
+                fail(
+                    f"overlapping copy records at server {server}: "
+                    f"({a.start},{a_end}) and ({b.start},...)"
+                )
+    return report

@@ -1,0 +1,13 @@
+"""Optimal offline solvers and lower bounds."""
+
+from .brute_force import brute_force_optimal_cost
+from .dp import OfflineDecision, optimal_cost, optimal_schedule
+from .lower_bounds import opt_lower_bound
+
+__all__ = [
+    "optimal_cost",
+    "optimal_schedule",
+    "OfflineDecision",
+    "brute_force_optimal_cost",
+    "opt_lower_bound",
+]

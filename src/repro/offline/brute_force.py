@@ -1,0 +1,91 @@
+"""Exhaustive optimal offline search for tiny instances.
+
+This is the gold standard used to validate :mod:`repro.offline.dp`: a
+dynamic program over ``(event index, set of servers holding copies)``
+that considers *every* replication schedule in which state changes happen
+at request times.  (Changing state strictly between requests is dominated:
+storage cost is linear in holding time, so creations can be delayed to
+the next request and drops advanced to the previous one without
+increasing cost.)
+
+Complexity is ``O(m * 4^n)`` — only usable for ``n <= ~4``, ``m <= ~14``,
+which is exactly its purpose.  Unlike the fast DP it supports distinct
+per-server storage rates, so it also validates the Wang et al. baseline
+scenarios.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.costs import CostModel
+from ..core.trace import Trace
+
+__all__ = ["brute_force_optimal_cost"]
+
+
+def _all_subsets(universe: tuple[int, ...]):
+    for k in range(len(universe) + 1):
+        for combo in combinations(universe, k):
+            yield frozenset(combo)
+
+
+def brute_force_optimal_cost(
+    trace: Trace,
+    model: CostModel,
+    max_requests: int = 16,
+    max_servers: int = 5,
+) -> float:
+    """Exact optimal offline cost by exhaustive state-space search.
+
+    Raises ``ValueError`` when the instance exceeds the tractable size
+    guards (override them explicitly if you know what you are doing).
+    """
+    if model.n != trace.n:
+        raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
+    m = len(trace)
+    if m > max_requests:
+        raise ValueError(
+            f"instance too large for brute force: m={m} > {max_requests}"
+        )
+    if trace.n > max_servers:
+        raise ValueError(
+            f"instance too large for brute force: n={trace.n} > {max_servers}"
+        )
+    if m == 0:
+        return 0.0
+
+    lam = model.lam
+    rates = model.storage_rates
+    servers = tuple(range(trace.n))
+    seq = trace.with_dummy()
+
+    def storage_rate(S: frozenset[int]) -> float:
+        return sum(rates[s] for s in S)
+
+    # states after event i: frozenset of holders -> min cost
+    states: dict[frozenset[int], float] = {frozenset({0}): 0.0}
+
+    for i in range(1, m + 1):
+        req = seq[i]
+        dt = seq[i].time - seq[i - 1].time
+        new_states: dict[frozenset[int], float] = {}
+        for S, cost in states.items():
+            hold_cost = cost + storage_rate(S) * dt
+            served_free = req.server in S
+            for S2 in _all_subsets(servers):
+                if not S2:
+                    continue  # at-least-one-copy invariant
+                # transfers: serving (if not local) + any brand-new copies;
+                # when the serve transfer lands at the request's server, the
+                # retained copy there is free.
+                extra = S2 - S
+                n_transfers = len(extra - {req.server})
+                if not served_free:
+                    n_transfers += 1  # the serve transfer itself
+                c2 = hold_cost + lam * n_transfers
+                if c2 < new_states.get(S2, float("inf")):
+                    new_states[S2] = c2
+        states = new_states
+
+    return min(states.values())

@@ -1,0 +1,238 @@
+"""Exact optimal offline replication cost in ``O(m * n)``.
+
+Derivation (from the paper's structural Propositions 3-6; see DESIGN.md):
+there exists an optimal offline strategy in which
+
+1. every request ``r_i`` is either served by a copy held at ``s[r_i]``
+   continuously since the preceding local request ``r_{p(i)}`` ("keep",
+   storage cost ``t_i - t_p(i)``), or served by a transfer (cost
+   ``lambda``);  (Props. 4/5; prefetching earlier than ``t_p(i)`` or
+   creating copies not serving local requests is dominated)
+2. copies exist only over such kept inter-request intervals, except for
+   *bridging*: whenever no kept interval spans the gap between two
+   globally consecutive requests, the at-least-one-copy constraint forces
+   one copy to survive across the gap, costing exactly the gap length
+   (rate-1 storage; Prop. 6 / "Case A" of the paper's Section 5).
+
+The decision for each request is therefore binary and the only coupling
+between decisions is gap coverage, which depends only on the *latest
+expiry time among currently open kept intervals*.  Scanning requests in
+time order with that scalar as the DP state gives an exact algorithm; at
+most one open interval per server exists at any time, so the state space
+is bounded by ``n`` and the total complexity is ``O(m * n)``.
+
+The implementation is validated in the test suite against an exhaustive
+exponential search (``repro.offline.brute_force``) on thousands of random
+tiny instances and against the closed-form optima of the paper's tight
+examples (Figures 5, 6, 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.costs import CostModel
+from ..core.trace import Trace
+
+__all__ = ["optimal_cost", "optimal_schedule", "OfflineDecision"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class OfflineDecision:
+    """Reconstructed optimal decision for one request ``r_i`` (i >= 1).
+
+    ``keep`` means server ``s[r_i]`` keeps its copy from ``t_i`` until its
+    next local request (which is then served locally); ``keep=False``
+    means the copy is not held and the next local request (if any) is
+    served by a transfer.  ``bridged`` marks requests whose preceding
+    global gap ``(t_{i-1}, t_i)`` was not covered by any kept interval and
+    required a bridging copy.
+    """
+
+    request_index: int
+    keep: bool
+    bridged: bool
+
+
+def _prepare(trace: Trace, model: CostModel):
+    if model.n != trace.n:
+        raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
+    if not model.uniform_storage:
+        raise ValueError(
+            "optimal_cost assumes uniform storage rates (the paper's "
+            "setting); use brute_force for small non-uniform instances"
+        )
+    rate = model.storage_rates[0]
+    seq = trace.with_dummy()
+    nxt = trace.next_local_time()
+    return seq, nxt, rate
+
+
+def optimal_cost(trace: Trace, model: CostModel) -> float:
+    """Exact minimum offline cost of serving ``trace`` under ``model``.
+
+    Storage is accounted over ``[0, t_m]`` and each transfer costs
+    ``lambda`` — the same conventions as the simulator, so online/optimal
+    ratios are directly comparable.
+    """
+    seq, nxt, rate = _prepare(trace, model)
+    lam = model.lam
+    m = len(seq) - 1
+    if m == 0:
+        return 0.0
+
+    # base cost: the first request at every server other than server 0 is
+    # necessarily served by a transfer (no earlier local copy can exist)
+    seen = {0}
+    base = 0.0
+    for r in seq[1:]:
+        if r.server not in seen:
+            base += lam
+            seen.add(r.server)
+
+    # DP over requests; state = latest expiry among open kept intervals
+    # states: dict E -> best cost (E = -inf when nothing is open)
+    NEG = float("-inf")
+    states: dict[float, float] = {}
+
+    def decide(i: int, cur: dict[float, float]) -> dict[float, float]:
+        """Apply the keep/skip decision of request i to all states."""
+        t_i = seq[i].time
+        nl = nxt[i]
+        out: dict[float, float] = {}
+        for E, c in cur.items():
+            if nl != float("inf"):
+                # keep: pay storage for (t_i, next local request)
+                kE = max(E, nl)
+                kc = c + (nl - t_i) * rate
+                if kc < out.get(kE, float("inf")):
+                    out[kE] = kc
+                # skip: the next local request will pay a transfer
+                sc = c + lam
+                if sc < out.get(E, float("inf")):
+                    out[E] = sc
+            else:
+                if c < out.get(E, float("inf")):
+                    out[E] = c
+        return _prune(out)
+
+    states = decide(0, {NEG: 0.0})
+    for i in range(1, m + 1):
+        t_prev = seq[i - 1].time
+        t_i = seq[i].time
+        gap = t_i - t_prev
+        # bridging charge when no open kept interval spans the gap
+        moved: dict[float, float] = {}
+        for E, c in states.items():
+            cc = c if E >= t_i - _EPS else c + gap * rate
+            if cc < moved.get(E, float("inf")):
+                moved[E] = cc
+        states = decide(i, moved)
+
+    return base + min(states.values())
+
+
+def _prune(states: dict[float, float]) -> dict[float, float]:
+    """Drop dominated states (larger-or-equal E with smaller-or-equal cost
+    dominates)."""
+    items = sorted(states.items(), key=lambda kv: -kv[0])  # E descending
+    out: dict[float, float] = {}
+    best = float("inf")
+    for E, c in items:
+        if c < best - 1e-15:
+            out[E] = c
+            best = c
+    return out
+
+
+def optimal_schedule(trace: Trace, model: CostModel) -> tuple[float, list[OfflineDecision]]:
+    """Optimal cost plus the reconstructed per-request decisions.
+
+    Runs the same DP as :func:`optimal_cost` but keeps back-pointers; the
+    returned decisions are one optimal solution (ties broken toward
+    "keep") and cover ``r_0 .. r_m`` (index 0 is the dummy request's
+    decision about the initial copy).  Intended for inspection and the
+    partition analysis rather than hot loops.
+    """
+    seq, nxt, rate = _prepare(trace, model)
+    lam = model.lam
+    m = len(seq) - 1
+    if m == 0:
+        return 0.0, []
+
+    seen = {0}
+    base = 0.0
+    for r in seq[1:]:
+        if r.server not in seen:
+            base += lam
+            seen.add(r.server)
+
+    NEG = float("-inf")
+    # state: E -> (cost, parent_key, decision at this step, bridged)
+    Hist = dict[float, tuple[float, float | None, bool | None, bool]]
+    layers: list[Hist] = []
+
+    def decide(i: int, cur: Hist) -> Hist:
+        t_i = seq[i].time
+        nl = nxt[i]
+        out: Hist = {}
+        for E, (c, _, _, bridged) in cur.items():
+            if nl != float("inf"):
+                kE = max(E, nl)
+                kc = c + (nl - t_i) * rate
+                if kc < out.get(kE, (float("inf"), None, None, False))[0]:
+                    out[kE] = (kc, E, True, bridged)
+                sc = c + lam
+                if sc < out.get(E, (float("inf"), None, None, False))[0]:
+                    out[E] = (sc, E, False, bridged)
+            else:
+                if c < out.get(E, (float("inf"), None, None, False))[0]:
+                    out[E] = (c, E, False, bridged)
+        return out
+
+    cur: Hist = {NEG: (0.0, None, None, False)}
+    cur = decide(0, cur)
+    layers.append(cur)
+    for i in range(1, m + 1):
+        gap = seq[i].time - seq[i - 1].time
+        t_i = seq[i].time
+        moved: Hist = {}
+        for E, (c, _, _, _) in cur.items():
+            bridged = E < t_i - _EPS
+            cc = c + (gap * rate if bridged else 0.0)
+            if cc < moved.get(E, (float("inf"), None, None, False))[0]:
+                moved[E] = (cc, E, None, bridged)
+        cur = decide(i, moved)
+        layers.append(cur)
+
+    bestE = min(cur, key=lambda E: cur[E][0])
+    total = base + cur[bestE][0]
+
+    # walk back through layers to recover decisions (r_m down to r_0)
+    decisions: list[OfflineDecision] = []
+    key: float | None = bestE
+    for i in range(m, 0, -1):
+        entry = layers[i][key]  # type: ignore[index]
+        _, parent, keep, bridged = entry
+        decisions.append(
+            OfflineDecision(
+                request_index=i,
+                keep=bool(keep) if keep is not None else False,
+                bridged=bool(bridged),
+            )
+        )
+        key = parent
+    # the dummy request r_0's decision (keep the initial copy at server 0
+    # until its next local request) lives in layer 0
+    entry0 = layers[0][key]  # type: ignore[index]
+    decisions.append(
+        OfflineDecision(
+            request_index=0,
+            keep=bool(entry0[2]) if entry0[2] is not None else False,
+            bridged=False,
+        )
+    )
+    decisions.reverse()
+    return total, decisions

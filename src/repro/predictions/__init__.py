@@ -1,0 +1,45 @@
+"""Binary inter-request-time predictors (oracle, noisy, learned)."""
+
+from .accuracy import (
+    MispredictionSets,
+    PredictionOutcome,
+    classify_mispredictions,
+    evaluate_predictor,
+    realized_accuracy,
+)
+from .base import PredictionQuery, Predictor
+from .ensemble import MajorityVotePredictor, WeightedMajorityPredictor
+from .learned import (
+    EwmaPredictor,
+    LastGapPredictor,
+    MarkovChainPredictor,
+    SlidingWindowPredictor,
+)
+from .oracle import (
+    AdversarialPredictor,
+    FixedPredictor,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    ground_truth_within,
+)
+
+__all__ = [
+    "Predictor",
+    "PredictionQuery",
+    "MajorityVotePredictor",
+    "WeightedMajorityPredictor",
+    "OraclePredictor",
+    "NoisyOraclePredictor",
+    "AdversarialPredictor",
+    "FixedPredictor",
+    "ground_truth_within",
+    "EwmaPredictor",
+    "LastGapPredictor",
+    "SlidingWindowPredictor",
+    "MarkovChainPredictor",
+    "PredictionOutcome",
+    "evaluate_predictor",
+    "realized_accuracy",
+    "MispredictionSets",
+    "classify_mispredictions",
+]

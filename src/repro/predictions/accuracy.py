@@ -1,0 +1,136 @@
+"""Measuring realized prediction accuracy on a trace.
+
+The paper's misprediction analysis (Section 8) classifies mispredicted
+requests into sets ``M1``, ``M2``, ``M3`` by the real inter-request time;
+:func:`classify_mispredictions` reproduces that classification so the
+bound (11) can be evaluated empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.trace import Trace
+from .base import Predictor
+from .oracle import ground_truth_within
+
+__all__ = [
+    "PredictionOutcome",
+    "evaluate_predictor",
+    "classify_mispredictions",
+    "MispredictionSets",
+]
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """One prediction versus its ground truth.
+
+    ``request_index`` is the index of the *later* request ``r_i`` whose
+    preceding gap was predicted (the paper calls ``r_i`` mispredicted when
+    the gap between ``r_{p(i)}`` and ``r_i`` was mispredicted).
+    """
+
+    request_index: int
+    server: int
+    issued_at: float
+    predicted_within: bool
+    truth_within: bool
+
+    @property
+    def correct(self) -> bool:
+        return self.predicted_within == self.truth_within
+
+
+def evaluate_predictor(
+    trace: Trace, predictor: Predictor, lam: float
+) -> list[PredictionOutcome]:
+    """Replay ``trace`` through ``predictor`` and score each prediction.
+
+    Mirrors exactly how the algorithms query predictors: one prediction
+    immediately after every request (including the dummy ``r_0``), scored
+    against the next local request.  Predictions whose ground truth gap
+    never materialises (last request of a server) are scored against
+    "beyond" and included, matching :func:`ground_truth_within`.
+    """
+    outcomes: list[PredictionOutcome] = []
+    # map each request position to the index of the next local request
+    nxt: dict[tuple[int, float], int] = {}
+    last_pos: dict[int, tuple[int, float]] = {0: (0, 0.0)}
+    for r in trace:
+        if r.server in last_pos:
+            _, prev_t = last_pos[r.server]
+            nxt[(r.server, prev_t)] = r.index
+        last_pos[r.server] = (r.index, r.time)
+
+    predictor.observe(0, 0.0)
+    pred = predictor.predict_within(0, 0.0, lam)
+    truth = ground_truth_within(trace, 0, 0.0, lam)
+    outcomes.append(
+        PredictionOutcome(nxt.get((0, 0.0), -1), 0, 0.0, pred, truth)
+    )
+    for r in trace:
+        predictor.observe(r.server, r.time)
+        pred = predictor.predict_within(r.server, r.time, lam)
+        truth = ground_truth_within(trace, r.server, r.time, lam)
+        outcomes.append(
+            PredictionOutcome(
+                nxt.get((r.server, r.time), -1), r.server, r.time, pred, truth
+            )
+        )
+    return outcomes
+
+
+def realized_accuracy(outcomes: list[PredictionOutcome]) -> float:
+    """Fraction of correct predictions (NaN for empty input)."""
+    if not outcomes:
+        return float("nan")
+    return sum(1 for o in outcomes if o.correct) / len(outcomes)
+
+
+@dataclass(frozen=True)
+class MispredictionSets:
+    """The paper's Section 8 partition of mispredicted requests.
+
+    * ``m1``: real gap ``t_i - t_p(i) <= alpha * lambda`` (harmless);
+    * ``m2``: ``alpha * lambda < gap <= lambda`` (penalty <= ``lambda``);
+    * ``m3``: ``gap > lambda`` (penalty <= ``(2 - alpha) * lambda``).
+
+    Request indices refer to the later request of each mispredicted gap.
+    """
+
+    m1: tuple[int, ...]
+    m2: tuple[int, ...]
+    m3: tuple[int, ...]
+
+    def penalty_bound(self, lam: float, alpha: float) -> float:
+        """Total online-cost increase bound from Section 8."""
+        return lam * len(self.m2) + (2 - alpha) * lam * len(self.m3)
+
+
+def classify_mispredictions(
+    trace: Trace,
+    outcomes: list[PredictionOutcome],
+    lam: float,
+    alpha: float,
+) -> MispredictionSets:
+    """Partition mispredicted requests into ``M1``, ``M2``, ``M3``.
+
+    Only predictions that have a materialised later request are
+    classified (the paper's sets are defined per mispredicted *request*).
+    """
+    gaps = trace.inter_request_gaps()
+    m1: list[int] = []
+    m2: list[int] = []
+    m3: list[int] = []
+    for o in outcomes:
+        if o.correct or o.request_index < 1:
+            continue
+        gap = gaps[o.request_index - 1]
+        if gap <= alpha * lam:
+            m1.append(o.request_index)
+        elif gap <= lam:
+            m2.append(o.request_index)
+        else:
+            m3.append(o.request_index)
+    return MispredictionSets(tuple(m1), tuple(m2), tuple(m3))

@@ -1,0 +1,64 @@
+"""Predictor interface for binary inter-request-time predictions.
+
+The paper's prediction model (Section 2): immediately after a request at
+server ``s`` at time ``t``, a binary prediction states whether the *next*
+request at ``s`` will arise within ``lambda`` time units of ``t``
+(``True`` = within, the "no later than ``t + lambda``" branch of
+Algorithm 1 line 10).
+
+Predictors are queried exactly once per (server, request) pair, including
+the dummy request ``r_0`` at server 0 / time 0.  Implementations must be
+deterministic given their construction arguments (randomised predictors
+take an explicit seed) so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Predictor", "PredictionQuery"]
+
+
+class PredictionQuery:
+    """Value object describing one prediction request (for logging)."""
+
+    __slots__ = ("server", "time", "lam")
+
+    def __init__(self, server: int, time: float, lam: float):
+        self.server = server
+        self.time = time
+        self.lam = lam
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PredictionQuery(server={self.server}, time={self.time}, lam={self.lam})"
+
+
+class Predictor(abc.ABC):
+    """Base class for binary inter-request-time predictors."""
+
+    #: identifier used in reports
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict_within(self, server: int, time: float, lam: float) -> bool:
+        """Predict whether the next request at ``server`` arrives within
+        ``lam`` time units after the request at ``time``.
+
+        Parameters
+        ----------
+        server:
+            The server whose next local request is being predicted.
+        time:
+            Arrival time of the request that just occurred at ``server``
+            (``0.0`` for the dummy request at server 0).
+        lam:
+            The transfer cost / prediction horizon ``lambda``.
+        """
+
+    def observe(self, server: int, time: float) -> None:
+        """Optional hook: learn from the request that just arrived.
+
+        History-based predictors use this to update their state.  Called
+        by the algorithms *before* :meth:`predict_within` for the same
+        request.
+        """

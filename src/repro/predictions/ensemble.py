@@ -1,0 +1,106 @@
+"""Ensemble predictors: combining multiple forecasters.
+
+Gollapudi and Panigrahi (ICML 2019) — cited by the paper as [3] —
+consider ski-rental with *multiple* predictors.  The natural analogue
+for replication is an ensemble over binary inter-request forecasters:
+
+* :class:`MajorityVotePredictor` — unweighted vote;
+* :class:`WeightedMajorityPredictor` — multiplicative-weights update on
+  each member's observed correctness (the classic learning-with-experts
+  scheme), so the ensemble tracks the best member over time.
+
+The ensemble is itself a :class:`~repro.predictions.base.Predictor`, so
+it plugs into Algorithm 1 unchanged, inheriting the same consistency/
+robustness guarantees as a function of the ensemble's realized accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Predictor
+
+__all__ = ["MajorityVotePredictor", "WeightedMajorityPredictor"]
+
+
+class MajorityVotePredictor(Predictor):
+    """Unweighted majority vote over member predictors.
+
+    Ties (even member counts) resolve to ``tie_within``.
+    """
+
+    def __init__(self, members: Sequence[Predictor], tie_within: bool = False):
+        if not members:
+            raise ValueError("need at least one member predictor")
+        self.members = list(members)
+        self.tie_within = bool(tie_within)
+        self.name = f"majority({', '.join(m.name for m in self.members)})"
+
+    def observe(self, server: int, time: float) -> None:
+        for m in self.members:
+            m.observe(server, time)
+
+    def predict_within(self, server: int, time: float, lam: float) -> bool:
+        votes = sum(
+            1 if m.predict_within(server, time, lam) else -1
+            for m in self.members
+        )
+        if votes == 0:
+            return self.tie_within
+        return votes > 0
+
+
+class WeightedMajorityPredictor(Predictor):
+    """Multiplicative-weights ensemble (learning with expert advice).
+
+    Each member starts with weight 1.  After a prediction's ground truth
+    materialises (the next request at the server arrives, or the horizon
+    passes with the arrival of any later local request), members that
+    were wrong are penalised by ``(1 - eta)``.  Predictions are the
+    weight-weighted vote.
+
+    The update is driven entirely by :meth:`observe` calls — exactly the
+    information an online system has — so no oracle access is needed.
+    """
+
+    def __init__(self, members: Sequence[Predictor], eta: float = 0.3):
+        if not members:
+            raise ValueError("need at least one member predictor")
+        if not 0.0 < eta < 1.0:
+            raise ValueError(f"eta must be in (0, 1), got {eta}")
+        self.members = list(members)
+        self.eta = float(eta)
+        self.weights = [1.0] * len(members)
+        # per server: (issue_time, lam, member_votes) of the pending prediction
+        self._pending: dict[int, tuple[float, float, list[bool]]] = {}
+        self.name = (
+            f"weighted-majority(eta={eta:g}; "
+            f"{', '.join(m.name for m in self.members)})"
+        )
+
+    def observe(self, server: int, time: float) -> None:
+        pending = self._pending.pop(server, None)
+        if pending is not None:
+            issue_time, lam, votes = pending
+            truth_within = (time - issue_time) <= lam
+            for k, vote in enumerate(votes):
+                if vote != truth_within:
+                    self.weights[k] *= 1.0 - self.eta
+            # renormalise to avoid underflow on long traces
+            total = sum(self.weights)
+            if total > 0:
+                self.weights = [w / total * len(self.weights) for w in self.weights]
+        for m in self.members:
+            m.observe(server, time)
+
+    def predict_within(self, server: int, time: float, lam: float) -> bool:
+        votes = [m.predict_within(server, time, lam) for m in self.members]
+        self._pending[server] = (time, lam, votes)
+        mass_within = sum(w for w, v in zip(self.weights, votes) if v)
+        mass_beyond = sum(w for w, v in zip(self.weights, votes) if not v)
+        return mass_within >= mass_beyond
+
+    def best_member(self) -> tuple[int, float]:
+        """Index and weight of the currently highest-weighted member."""
+        k = max(range(len(self.weights)), key=lambda i: self.weights[i])
+        return k, self.weights[k]

@@ -1,0 +1,156 @@
+"""History-based predictors.
+
+The paper assumes predictions come from an external model ("based on the
+request history or other features", Section 2).  These predictors build
+that model online from the request history alone, giving realistic
+imperfect predictions for the examples and benchmarks: no oracle access,
+only what an online system could actually observe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import Predictor
+
+__all__ = [
+    "EwmaPredictor",
+    "LastGapPredictor",
+    "SlidingWindowPredictor",
+    "MarkovChainPredictor",
+]
+
+
+class EwmaPredictor(Predictor):
+    """Exponentially weighted moving average of local inter-request gaps.
+
+    Predicts "within" when the EWMA gap estimate is at most ``lambda``.
+    Servers with no observed gap yet fall back to ``default_within``.
+    """
+
+    def __init__(self, decay: float = 0.5, default_within: bool = False):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = float(decay)
+        self.default_within = bool(default_within)
+        self._last_time: dict[int, float] = {}
+        self._ewma: dict[int, float] = {}
+        self.name = f"ewma(decay={decay:g})"
+
+    def observe(self, server: int, time: float) -> None:
+        prev = self._last_time.get(server)
+        if prev is not None:
+            gap = time - prev
+            old = self._ewma.get(server)
+            self._ewma[server] = (
+                gap if old is None else self.decay * gap + (1 - self.decay) * old
+            )
+        self._last_time[server] = time
+
+    def predict_within(self, server: int, time: float, lam: float) -> bool:
+        est = self._ewma.get(server)
+        if est is None:
+            return self.default_within
+        return est <= lam
+
+
+class LastGapPredictor(Predictor):
+    """Predicts the next gap equals the previous gap at the same server."""
+
+    name = "last-gap"
+
+    def __init__(self, default_within: bool = False):
+        self.default_within = bool(default_within)
+        self._last_time: dict[int, float] = {}
+        self._last_gap: dict[int, float] = {}
+
+    def observe(self, server: int, time: float) -> None:
+        prev = self._last_time.get(server)
+        if prev is not None:
+            self._last_gap[server] = time - prev
+        self._last_time[server] = time
+
+    def predict_within(self, server: int, time: float, lam: float) -> bool:
+        gap = self._last_gap.get(server)
+        if gap is None:
+            return self.default_within
+        return gap <= lam
+
+
+class SlidingWindowPredictor(Predictor):
+    """Majority vote over the last ``window`` observed gaps at the server.
+
+    Predicts "within" when at least half the recent gaps were within
+    ``lambda``.  More robust to single outliers than :class:`LastGapPredictor`.
+    """
+
+    def __init__(self, window: int = 5, default_within: bool = False):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self.default_within = bool(default_within)
+        self._last_time: dict[int, float] = {}
+        self._gaps: dict[int, deque[float]] = {}
+        self.name = f"sliding-window(w={window})"
+
+    def observe(self, server: int, time: float) -> None:
+        prev = self._last_time.get(server)
+        if prev is not None:
+            self._gaps.setdefault(server, deque(maxlen=self.window)).append(
+                time - prev
+            )
+        self._last_time[server] = time
+
+    def predict_within(self, server: int, time: float, lam: float) -> bool:
+        gaps = self._gaps.get(server)
+        if not gaps:
+            return self.default_within
+        within = sum(1 for g in gaps if g <= lam)
+        return within * 2 >= len(gaps)
+
+
+class MarkovChainPredictor(Predictor):
+    """Two-state Markov chain over the binary gap outcome per server.
+
+    Tracks empirical transition counts between consecutive outcomes
+    (within/beyond ``lambda``) and predicts the most likely successor of
+    the last observed outcome.  Captures alternating burst/idle patterns
+    that frequency-based predictors miss.
+    """
+
+    name = "markov"
+
+    def __init__(self, default_within: bool = False, smoothing: float = 1.0):
+        self.default_within = bool(default_within)
+        self.smoothing = float(smoothing)
+        self._last_time: dict[int, float] = {}
+        self._last_outcome: dict[int, bool] = {}
+        # counts[server][(prev_outcome, next_outcome)]
+        self._counts: dict[int, dict[tuple[bool, bool], int]] = {}
+        self._pending_lam: dict[int, float] = {}
+
+    def observe(self, server: int, time: float) -> None:
+        prev = self._last_time.get(server)
+        lam = self._pending_lam.get(server)
+        if prev is not None and lam is not None:
+            outcome = (time - prev) <= lam
+            last = self._last_outcome.get(server)
+            if last is not None:
+                tbl = self._counts.setdefault(server, {})
+                key = (last, outcome)
+                tbl[key] = tbl.get(key, 0) + 1
+            self._last_outcome[server] = outcome
+        self._last_time[server] = time
+
+    def predict_within(self, server: int, time: float, lam: float) -> bool:
+        # remember the horizon so the next observe() can label this gap
+        self._pending_lam[server] = lam
+        last = self._last_outcome.get(server)
+        if last is None:
+            return self.default_within
+        tbl = self._counts.get(server, {})
+        p_within = tbl.get((last, True), 0) + self.smoothing
+        p_beyond = tbl.get((last, False), 0) + self.smoothing
+        if p_within == p_beyond:
+            return last  # persistence prior: repeat the last outcome
+        return p_within > p_beyond

@@ -1,0 +1,29 @@
+"""Deployment-facing layer: multi-object fleets and trace I/O."""
+
+from .multi_object import (
+    FleetReport,
+    MultiObjectSystem,
+    ObjectOutcome,
+    ObjectSpec,
+    split_trace_by_object,
+)
+from .trace_io import (
+    load_access_log_csv,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+)
+
+__all__ = [
+    "ObjectSpec",
+    "ObjectOutcome",
+    "FleetReport",
+    "MultiObjectSystem",
+    "split_trace_by_object",
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    "load_access_log_csv",
+]

@@ -1,0 +1,41 @@
+"""Workload generators: synthetic, IBM-like, and adversarial instances."""
+
+from .adversarial import (
+    AdversaryOutcome,
+    LowerBoundAdversary,
+    consistency_tight_trace,
+    robustness_tight_trace,
+    wang_counterexample_trace,
+)
+from .ibm_like import (
+    IBM_TRACE_REQUESTS,
+    IBM_TRACE_SPAN,
+    ibm_like_arrivals,
+    ibm_like_trace,
+)
+from .synthetic import (
+    assign_servers_zipf,
+    bursty_trace,
+    periodic_trace,
+    poisson_trace,
+    uniform_random_trace,
+    zipf_server_probabilities,
+)
+
+__all__ = [
+    "robustness_tight_trace",
+    "consistency_tight_trace",
+    "wang_counterexample_trace",
+    "LowerBoundAdversary",
+    "AdversaryOutcome",
+    "ibm_like_arrivals",
+    "ibm_like_trace",
+    "IBM_TRACE_REQUESTS",
+    "IBM_TRACE_SPAN",
+    "zipf_server_probabilities",
+    "assign_servers_zipf",
+    "poisson_trace",
+    "bursty_trace",
+    "periodic_trace",
+    "uniform_random_trace",
+]

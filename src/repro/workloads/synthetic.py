@@ -1,0 +1,150 @@
+"""Synthetic workload generators.
+
+All generators are deterministic given a seed and produce validated
+:class:`~repro.core.trace.Trace` objects.  ``zipf_assignment`` reproduces
+the paper's experimental setup (Appendix J.1): requests of one object are
+distributed over servers with probability proportional to ``1/i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trace import Trace
+
+__all__ = [
+    "zipf_server_probabilities",
+    "assign_servers_zipf",
+    "poisson_trace",
+    "bursty_trace",
+    "periodic_trace",
+    "uniform_random_trace",
+]
+
+
+def zipf_server_probabilities(n: int, exponent: float = 1.0) -> np.ndarray:
+    """The paper's Zipf law: server ``i`` (1-based) has probability
+    ``i^-exponent / sum_j j^-exponent``."""
+    if n <= 0:
+        raise ValueError(f"need n >= 1, got {n}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** (-exponent)
+    return w / w.sum()
+
+
+def assign_servers_zipf(
+    times: np.ndarray, n: int, exponent: float = 1.0, seed: int = 0
+) -> Trace:
+    """Assign each arrival time to a server by the paper's Zipf rule."""
+    rng = np.random.default_rng(seed)
+    probs = zipf_server_probabilities(n, exponent)
+    servers = rng.choice(n, size=len(times), p=probs)
+    times = np.sort(np.asarray(times, dtype=float))
+    times = _dedupe_times(times)
+    return Trace.from_arrays(times, servers, n=n)
+
+
+def _dedupe_times(times: np.ndarray, min_sep: float = 1e-9) -> np.ndarray:
+    """Enforce strictly increasing times (the paper assumes distinct
+    arrival instants) by nudging collisions forward."""
+    out = times.copy()
+    for i in range(1, len(out)):
+        if out[i] <= out[i - 1]:
+            out[i] = out[i - 1] + min_sep
+    return out
+
+
+def poisson_trace(
+    n: int,
+    rate: float,
+    horizon: float,
+    seed: int = 0,
+    zipf_exponent: float | None = 1.0,
+) -> Trace:
+    """Poisson arrivals at aggregate ``rate`` over ``[0, horizon]``.
+
+    Servers are assigned by the Zipf rule (or uniformly when
+    ``zipf_exponent`` is None).
+    """
+    if rate <= 0 or horizon <= 0:
+        raise ValueError("rate and horizon must be positive")
+    rng = np.random.default_rng(seed)
+    m = rng.poisson(rate * horizon)
+    times = np.sort(rng.uniform(0.0, horizon, size=m))
+    times = times[times > 0]
+    times = _dedupe_times(times)
+    if zipf_exponent is None:
+        servers = rng.integers(0, n, size=len(times))
+        return Trace.from_arrays(times, servers, n=n)
+    return assign_servers_zipf(times, n, zipf_exponent, seed=seed + 1)
+
+
+def bursty_trace(
+    n: int,
+    n_bursts: int,
+    burst_size: int,
+    burst_spread: float,
+    quiet_gap: float,
+    seed: int = 0,
+) -> Trace:
+    """Alternating burst/idle arrivals (a two-state MMPP-style process).
+
+    Each burst drops ``burst_size`` requests within ``burst_spread`` time
+    units at one Zipf-chosen server, separated by exponential quiet gaps
+    of mean ``quiet_gap``.  This stresses the within/beyond-``lambda``
+    boundary that drives Algorithm 1's decisions.
+    """
+    rng = np.random.default_rng(seed)
+    probs = zipf_server_probabilities(n)
+    items: list[tuple[float, int]] = []
+    t = 0.0
+    for _ in range(n_bursts):
+        t += rng.exponential(quiet_gap)
+        server = int(rng.choice(n, p=probs))
+        offsets = np.sort(rng.uniform(0.0, burst_spread, size=burst_size))
+        for off in offsets:
+            items.append((t + off, server))
+        t += burst_spread
+    items.sort()
+    times = _dedupe_times(np.array([x[0] for x in items]))
+    servers = [x[1] for x in items]
+    return Trace.from_arrays(times, servers, n=n)
+
+
+def periodic_trace(
+    n: int,
+    period: float,
+    cycles: int,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> Trace:
+    """Round-robin periodic arrivals: one request per server per cycle.
+
+    With ``jitter = 0`` the trace is fully deterministic — useful for
+    hand-checkable tests.
+    """
+    rng = np.random.default_rng(seed)
+    items: list[tuple[float, int]] = []
+    for c in range(cycles):
+        for s in range(n):
+            base = (c * n + s + 1) * period
+            t = base + (rng.uniform(-jitter, jitter) if jitter else 0.0)
+            items.append((max(t, 1e-9), s))
+    items.sort()
+    times = _dedupe_times(np.array([x[0] for x in items]))
+    servers = [x[1] for x in items]
+    return Trace.from_arrays(times, servers, n=n)
+
+
+def uniform_random_trace(
+    n: int, m: int, horizon: float, seed: int = 0
+) -> Trace:
+    """``m`` uniformly random arrivals with uniform server choice.
+
+    The workhorse for property-based tests: no structure at all.
+    """
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(horizon * 1e-6, horizon, size=m))
+    times = _dedupe_times(times)
+    servers = rng.integers(0, n, size=m)
+    return Trace.from_arrays(times, servers, n=n)

@@ -1,0 +1,155 @@
+"""Tests for the adversarial instances (Figures 5, 6, 9 + Section 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConventionalReplication,
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    OraclePredictor,
+    optimal_cost,
+    simulate,
+)
+from repro.analysis.theory import consistency_bound, robustness_bound
+from repro.workloads import (
+    LowerBoundAdversary,
+    consistency_tight_trace,
+    robustness_tight_trace,
+    wang_counterexample_trace,
+)
+
+
+class TestRobustnessTightTrace:
+    def test_structure(self):
+        tr = robustness_tight_trace(10.0, 0.5, m=5, eps=0.01)
+        assert len(tr) == 5
+        assert tr.n == 2
+        # alternating servers 1, 0, 1, 0, 1
+        assert list(tr.servers) == [1, 0, 1, 0, 1]
+
+    def test_per_server_gap(self):
+        lam, alpha, eps = 10.0, 0.5, 0.01
+        tr = robustness_tight_trace(lam, alpha, m=7, eps=eps)
+        gaps = [g for g in tr.inter_request_gaps() if np.isfinite(g)]
+        assert all(g == pytest.approx(alpha * lam + eps) for g in gaps)
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 1.0])
+    def test_ratio_converges_to_robustness_bound(self, alpha):
+        lam = 10.0
+        tr = robustness_tight_trace(lam, alpha, m=3001, eps=lam * 1e-5)
+        model = CostModel(lam=lam, n=2)
+        pol = LearningAugmentedReplication(FixedPredictor(False), alpha)
+        res = simulate(tr, model, pol)
+        ratio = res.total_cost / optimal_cost(tr, model)
+        assert ratio == pytest.approx(robustness_bound(alpha), rel=2e-3)
+
+    def test_all_requests_transferred(self):
+        tr = robustness_tight_trace(10.0, 0.5, m=41, eps=1e-4)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        res = simulate(tr, CostModel(lam=10.0, n=2), pol)
+        assert res.ledger.n_transfers == 41  # every request forces a transfer
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            robustness_tight_trace(10.0, 0.5, m=0)
+
+
+class TestConsistencyTightTrace:
+    def test_single_cycle_times(self):
+        lam, eps = 10.0, 0.01
+        tr = consistency_tight_trace(lam, cycles=1, eps=eps)
+        assert list(tr.times) == pytest.approx([lam, lam + eps, 2 * lam + eps])
+        assert list(tr.servers) == [1, 0, 1]
+
+    def test_single_cycle_online_cost(self):
+        # paper: online = 5 lam + alpha lam with perfect predictions
+        lam, alpha = 10.0, 0.5
+        tr = consistency_tight_trace(lam, cycles=1, eps=1e-6)
+        pol = LearningAugmentedReplication(OraclePredictor(tr), alpha)
+        res = simulate(tr, CostModel(lam=lam, n=2), pol)
+        assert res.total_cost == pytest.approx(5 * lam + alpha * lam, rel=1e-4)
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9])
+    def test_ratio_converges_to_consistency_bound(self, alpha):
+        lam = 10.0
+        tr = consistency_tight_trace(lam, cycles=120, eps=lam * 1e-6)
+        model = CostModel(lam=lam, n=2)
+        pol = LearningAugmentedReplication(OraclePredictor(tr), alpha)
+        res = simulate(tr, model, pol)
+        ratio = res.total_cost / optimal_cost(tr, model)
+        assert ratio == pytest.approx(consistency_bound(alpha), rel=1e-3)
+
+    def test_predictions_in_example_are_beyond(self):
+        # every local gap exceeds lambda, so the oracle predicts beyond
+        lam = 10.0
+        tr = consistency_tight_trace(lam, cycles=3)
+        pol = LearningAugmentedReplication(OraclePredictor(tr), 0.5)
+        simulate(tr, CostModel(lam=lam, n=2), pol)
+        assert not any(c.predicted_within for c in pol.classifications)
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ValueError):
+            consistency_tight_trace(10.0, cycles=0)
+
+
+class TestWangCounterexampleTrace:
+    def test_times_match_paper(self):
+        lam, eps = 10.0, 0.5
+        tr = wang_counterexample_trace(lam, m=3, eps=eps)
+        # t = eps, eps + (2 lam + eps), eps + 2(2 lam + eps)
+        assert list(tr.times) == pytest.approx([0.5, 21.0, 41.5])
+        assert set(tr.servers.tolist()) == {1}
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            wang_counterexample_trace(10.0, m=0)
+
+
+class TestLowerBoundAdversary:
+    @pytest.mark.parametrize("alpha", [0.3, 0.6, 1.0])
+    def test_forces_three_halves_on_algorithm1(self, alpha):
+        lam = 20.0
+        adv = LowerBoundAdversary(lam=lam, eps=lam * 1e-4)
+        pol = LearningAugmentedReplication(FixedPredictor(False), alpha)
+        out = adv.run(pol, n_requests=400)
+        opt = optimal_cost(out.trace, CostModel(lam=lam, n=2))
+        ratio = out.result.total_cost / opt
+        assert ratio >= 1.5 - 0.01
+
+    def test_forces_three_halves_on_conventional(self):
+        lam = 20.0
+        adv = LowerBoundAdversary(lam=lam, eps=lam * 1e-4)
+        out = adv.run(ConventionalReplication(), n_requests=400)
+        opt = optimal_cost(out.trace, CostModel(lam=lam, n=2))
+        assert out.result.total_cost / opt >= 1.5 - 0.01
+
+    def test_predictions_stay_correct(self):
+        # the adversary's trace must have all per-server gaps > lambda so
+        # always-"beyond" predictions are genuinely correct
+        lam = 20.0
+        adv = LowerBoundAdversary(lam=lam, eps=lam * 1e-4)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        out = adv.run(pol, n_requests=150)
+        gaps = [g for g in out.trace.inter_request_gaps() if np.isfinite(g)]
+        assert all(g > lam for g in gaps)
+
+    def test_generates_requested_count(self):
+        adv = LowerBoundAdversary(lam=10.0)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        out = adv.run(pol, n_requests=37)
+        assert len(out.trace) == 37
+        assert len(out.kinds) == 37
+
+    def test_invariant_maintained(self):
+        adv = LowerBoundAdversary(lam=10.0)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.4)
+        out = adv.run(pol, n_requests=100)
+        out.result.log.verify_at_least_one_copy()
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            LowerBoundAdversary(lam=0.0)

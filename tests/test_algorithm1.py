@@ -1,0 +1,300 @@
+"""Behavioural tests for Algorithm 1 (hand-computed scenarios).
+
+Scenario conventions: ``lam = 10``, ``alpha = 0.5`` unless noted, so
+regular copies last 10 (predicted within) or 5 (predicted beyond).
+The dummy request pins the initial copy at server 0 at time 0.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    OraclePredictor,
+    RequestType,
+    Trace,
+    simulate,
+)
+from repro.core.events import EventKind
+
+LAM = 10.0
+ALPHA = 0.5
+
+
+def run(trace, predictor, alpha=ALPHA, lam=LAM, **kw):
+    model = CostModel(lam=lam, n=trace.n)
+    policy = LearningAugmentedReplication(predictor, alpha, **kw)
+    result = simulate(trace, model, policy)
+    return result, policy
+
+
+class TestParameterValidation:
+    def test_alpha_zero_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            LearningAugmentedReplication(FixedPredictor(False), 0.0)
+
+    def test_alpha_zero_allowed_with_flag(self):
+        p = LearningAugmentedReplication(
+            FixedPredictor(False), 0.0, allow_zero_alpha=True
+        )
+        assert p.alpha == 0.0
+
+    def test_alpha_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            LearningAugmentedReplication(FixedPredictor(False), 1.1)
+
+    def test_alpha_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LearningAugmentedReplication(FixedPredictor(False), -0.2)
+
+    def test_non_uniform_storage_rejected(self):
+        tr = Trace(2, [(1.0, 0)])
+        model = CostModel(lam=1.0, n=2, storage_rates=(1.0, 2.0))
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        with pytest.raises(Exception, match="uniform"):
+            simulate(tr, model, pol)
+
+
+class TestIntendedDurations:
+    def test_beyond_prediction_gives_alpha_lambda(self):
+        tr = Trace(2, [(3.0, 1)])
+        _, pol = run(tr, FixedPredictor(False))
+        assert pol.classifications[0].duration_set == ALPHA * LAM
+
+    def test_within_prediction_gives_lambda(self):
+        tr = Trace(2, [(3.0, 1)])
+        _, pol = run(tr, FixedPredictor(True))
+        assert pol.classifications[0].duration_set == LAM
+
+    def test_initial_copy_duration_from_r0_prediction(self):
+        # always-beyond: initial copy lasts alpha*lam = 5; a request at
+        # server 0 at t=6 therefore needs... no other copy exists, so the
+        # copy is special and the request is Type-4.
+        tr = Trace(1, [(6.0, 0)])
+        res, pol = run(tr, FixedPredictor(False))
+        assert pol.classifications[0].rtype is RequestType.TYPE_4
+        # but at t=4 it is still regular (Type-3)
+        tr2 = Trace(1, [(4.0, 0)])
+        _, pol2 = run(tr2, FixedPredictor(False))
+        assert pol2.classifications[0].rtype is RequestType.TYPE_3
+
+    def test_alpha_one_ignores_predictions(self):
+        tr = Trace(2, [(3.0, 1), (9.0, 1)])
+        _, pol_b = run(tr, FixedPredictor(False), alpha=1.0)
+        _, pol_w = run(tr, FixedPredictor(True), alpha=1.0)
+        assert [c.duration_set for c in pol_b.classifications] == [
+            c.duration_set for c in pol_w.classifications
+        ] == [LAM, LAM]
+
+
+class TestHandComputedScenario:
+    """n=2, lam=10, alpha=0.5, always-'beyond' predictions.
+
+    r_0 dummy at server 0 (copy until t=5); r_1 at server 1 t=3 (Type-1
+    transfer, copy until 8 -> special); r_2 at server 1 t=12 (Type-4
+    local); r_3 at server 0 t=14 (Type-1 transfer).  Hand-computed total:
+    storage 16 + transfers 20 = 36.
+    """
+
+    @pytest.fixture
+    def outcome(self):
+        tr = Trace(2, [(3.0, 1), (12.0, 1), (14.0, 0)])
+        return run(tr, FixedPredictor(False))
+
+    def test_request_types(self, outcome):
+        _, pol = outcome
+        types = [c.rtype for c in pol.classifications]
+        assert types == [RequestType.TYPE_1, RequestType.TYPE_4, RequestType.TYPE_1]
+
+    def test_total_cost(self, outcome):
+        res, _ = outcome
+        assert res.total_cost == pytest.approx(36.0)
+
+    def test_storage_and_transfer_split(self, outcome):
+        res, _ = outcome
+        assert res.storage_cost == pytest.approx(16.0)
+        assert res.transfer_cost == pytest.approx(20.0)
+
+    def test_server0_copy_dropped_at_expiry(self, outcome):
+        res, _ = outcome
+        drops = res.log.of_kind(EventKind.DROP)
+        assert any(e.server == 0 and e.time == 5.0 for e in drops)
+
+    def test_special_switch_at_8(self, outcome):
+        res, _ = outcome
+        specials = res.log.of_kind(EventKind.SPECIAL)
+        assert [(e.server, e.time) for e in specials][0] == (1, 8.0)
+
+    def test_type4_t_prime(self, outcome):
+        _, pol = outcome
+        c = pol.classifications[1]
+        assert c.t_prime == pytest.approx(8.0)
+        assert c.t_p == pytest.approx(3.0)
+
+    def test_l_values(self, outcome):
+        _, pol = outcome
+        assert math.isnan(pol.classifications[0].l_i)  # first at server 1
+        assert pol.classifications[1].l_i == pytest.approx(5.0)
+        assert pol.classifications[2].l_i == pytest.approx(5.0)  # after dummy
+
+
+class TestType2SpecialTransfer:
+    def test_special_source_dropped_after_transfer(self):
+        # special copy at server 1 (from t=8) serves server 0 at t=12
+        tr = Trace(2, [(3.0, 1), (12.0, 0)])
+        res, pol = run(tr, FixedPredictor(False))
+        assert pol.classifications[1].rtype is RequestType.TYPE_2
+        assert pol.classifications[1].t_prime == pytest.approx(8.0)
+        # after r_2, only server 0 holds a copy
+        drops = res.log.of_kind(EventKind.DROP)
+        assert any(e.server == 1 and e.time == 12.0 for e in drops)
+
+    def test_serve_record_marks_special_source(self):
+        tr = Trace(2, [(3.0, 1), (12.0, 0)])
+        res, _ = run(tr, FixedPredictor(False))
+        sr = res.serve_of(2)
+        assert not sr.local
+        assert sr.source == 1
+        assert sr.source_special
+        assert sr.special_since == pytest.approx(8.0)
+
+
+class TestType3LocalRegular:
+    def test_within_expiry_served_locally(self):
+        tr = Trace(2, [(3.0, 1), (7.0, 1)])
+        res, pol = run(tr, FixedPredictor(False))
+        # second request at 7 <= 3 + 5 = 8 -> local regular
+        assert pol.classifications[1].rtype is RequestType.TYPE_3
+        assert res.ledger.n_transfers == 1  # only r_1
+
+    def test_request_exactly_at_expiry_is_local(self):
+        # t_i <= E_j is inclusive (Algorithm 1 line 4)
+        tr = Trace(2, [(3.0, 1), (8.0, 1)])
+        _, pol = run(tr, FixedPredictor(False))
+        assert pol.classifications[1].rtype is RequestType.TYPE_3
+
+    def test_request_just_after_expiry_not_local(self):
+        tr = Trace(2, [(3.0, 1), (8.0 + 1e-6, 1)])
+        _, pol = run(tr, FixedPredictor(False))
+        # the server-1 copy expired at 8 but it was the only copy
+        # (server 0's died at 5), so it became special -> Type-4
+        assert pol.classifications[1].rtype is RequestType.TYPE_4
+
+    def test_renewal_restarts_duration(self):
+        # r_1 at 3 (copy to 8), r_2 at 7 local renews to 12, r_3 at 11 local
+        tr = Trace(2, [(3.0, 1), (7.0, 1), (11.0, 1)])
+        _, pol = run(tr, FixedPredictor(False))
+        assert pol.classifications[2].rtype is RequestType.TYPE_3
+
+
+class TestAtLeastOneCopy:
+    def test_long_silent_period_keeps_one_copy(self):
+        tr = Trace(3, [(3.0, 1), (4.0, 2), (500.0, 0)])
+        res, _ = run(tr, FixedPredictor(False))
+        res.log.verify_at_least_one_copy()
+
+    def test_exactly_one_special_during_silence(self):
+        tr = Trace(3, [(3.0, 1), (4.0, 2), (500.0, 0)])
+        res, _ = run(tr, FixedPredictor(False))
+        # between the last expiry and t=500 exactly one copy exists
+        traj = res.log.copy_count_trajectory()
+        counts_late = [c for (t, c) in traj if 20.0 < t < 500.0]
+        assert all(c == 1 for c in counts_late) or counts_late == []
+
+    def test_special_periods_never_overlap_regular(self):
+        # Proposition 1: a special copy is always the only copy
+        tr = Trace(3, [(3.0, 1), (4.0, 2), (50.0, 0), (60.0, 1), (200.0, 2)])
+        res, _ = run(tr, FixedPredictor(False))
+        for rec in res.copy_records:
+            if rec.is_special_at_end:
+                t0 = rec.special_at
+                t1 = rec.end if rec.end == rec.end else res.trace.span
+                for other in res.copy_records:
+                    if other is rec:
+                        continue
+                    o_end = other.end if other.end == other.end else float("inf")
+                    # no other copy may exist strictly inside (t0, t1)
+                    assert not (other.start < t1 - 1e-12 and o_end > t0 + 1e-12), (
+                        rec,
+                        other,
+                    )
+
+
+class TestAlphaZeroFullTrust:
+    def test_alpha_zero_drops_immediately_on_beyond(self):
+        tr = Trace(2, [(3.0, 1), (4.0, 0)])
+        res, pol = run(
+            tr, FixedPredictor(False), alpha=0.0, allow_zero_alpha=True
+        )
+        # r_1's copy expires instantly at t=3 but server 0's initial copy
+        # also expired instantly at t=0 (special) and was dropped when it
+        # served r_1's transfer... so server 1's copy is the only one ->
+        # special. r_2 at server 0 is then a Type-2 transfer.
+        assert pol.classifications[1].rtype is RequestType.TYPE_2
+
+    def test_alpha_zero_with_perfect_predictions_near_optimal(self):
+        tr = Trace(2, [(3.0, 1), (5.0, 1), (7.0, 1), (30.0, 1)])
+        res, _ = run(
+            tr, OraclePredictor(tr), alpha=0.0, allow_zero_alpha=True
+        )
+        # short gaps served locally, the 23-gap by special transfer; with
+        # full trust the online cost tracks the optimum closely
+        from repro import optimal_cost
+
+        opt = optimal_cost(tr, CostModel(lam=LAM, n=2))
+        assert res.total_cost <= opt * 2.0
+
+
+class TestOraclePredictionsScenario:
+    def test_within_prediction_extends_copy(self):
+        # gaps: r_1 at 3, r_2 at 12 (gap 9 <= 10 -> predicted within ->
+        # duration 10 -> served locally at 12)
+        tr = Trace(2, [(3.0, 1), (12.0, 1)])
+        _, pol = run(tr, OraclePredictor(tr))
+        assert pol.classifications[0].predicted_within
+        assert pol.classifications[1].rtype is RequestType.TYPE_3
+
+    def test_beyond_prediction_shrinks_copy(self):
+        # gap 11 > 10 -> beyond -> duration 5 -> copy gone by t=14, but it
+        # was the only copy so it became special -> Type-4
+        tr = Trace(2, [(3.0, 1), (14.0, 1)])
+        _, pol = run(tr, OraclePredictor(tr))
+        assert not pol.classifications[0].predicted_within
+        assert pol.classifications[1].rtype is RequestType.TYPE_4
+
+    def test_proposition8_type_gap_relation(self):
+        # with perfect predictions: Type-3 iff gap <= lam (Proposition 8)
+        tr = Trace(
+            3,
+            [(3.0, 1), (5.0, 2), (9.0, 1), (30.0, 1), (31.0, 2), (45.0, 0)],
+        )
+        _, pol = run(tr, OraclePredictor(tr))
+        gaps = tr.inter_request_gaps()
+        for c in pol.classifications:
+            gap = gaps[c.request_index - 1]
+            if math.isinf(gap):
+                continue
+            if c.rtype is RequestType.TYPE_3:
+                assert gap <= LAM
+            else:
+                assert gap > LAM
+
+
+class TestTransferSourceChoice:
+    def test_source_must_hold_copy(self):
+        tr = Trace(3, [(3.0, 1), (4.0, 2)])
+        res, _ = run(tr, FixedPredictor(True))
+        for sr in res.serves:
+            if not sr.local:
+                assert sr.source != sr.request.server
+
+    def test_classification_count_matches_requests(self):
+        tr = Trace(3, [(3.0, 1), (4.0, 2), (5.0, 0), (6.0, 1)])
+        _, pol = run(tr, FixedPredictor(True))
+        assert len(pol.classifications) == 4
+        assert [c.request_index for c in pol.classifications] == [1, 2, 3, 4]

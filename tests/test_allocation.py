@@ -1,0 +1,143 @@
+"""Tests for the Section 4.1 cost allocation (Proposition 2).
+
+The key identity: the sum of per-request allocated costs equals the total
+online cost under the paper's bookkeeping conventions.  This pins down
+the request-type classifier, the lifecycle records, and the allocation
+formulas simultaneously.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    NoisyOraclePredictor,
+    RequestType,
+    Trace,
+    simulate,
+)
+from repro.analysis import allocate_costs, paper_total_cost
+from repro.workloads import uniform_random_trace
+
+LAM = 10.0
+
+
+def _run(trace, predictor, alpha=0.5, lam=LAM):
+    model = CostModel(lam=lam, n=trace.n)
+    pol = LearningAugmentedReplication(predictor, alpha)
+    res = simulate(trace, model, pol)
+    return res, pol
+
+
+class TestAllocationFormulas:
+    def test_type1_allocation(self):
+        # hand scenario from test_algorithm1: r_3 is Type-1 with l=5
+        tr = Trace(2, [(3.0, 1), (12.0, 1), (14.0, 0)])
+        res, pol = _run(tr, FixedPredictor(False))
+        alloc = allocate_costs(res, pol.classifications)
+        # r_3 (Type-1, l=5): 5 + lambda = 15
+        assert alloc[3] == pytest.approx(15.0)
+
+    def test_type4_allocation_is_gap(self):
+        tr = Trace(2, [(3.0, 1), (12.0, 1), (14.0, 0)])
+        res, pol = _run(tr, FixedPredictor(False))
+        alloc = allocate_costs(res, pol.classifications)
+        # r_2 (Type-4): t_2 - t_p(2) = 12 - 3 = 9
+        assert alloc[2] == pytest.approx(9.0)
+
+    def test_first_request_receives_trailing_copy(self):
+        tr = Trace(2, [(3.0, 1), (12.0, 1), (14.0, 0)])
+        res, pol = _run(tr, FixedPredictor(False))
+        alloc = allocate_costs(res, pol.classifications)
+        # r_1 is server 1's first request: lambda + one trailing copy's
+        # intended duration (server 1's copy after r_2 has duration 5)
+        assert alloc[1] == pytest.approx(10.0 + 5.0)
+
+    def test_type2_allocation_includes_special_storage(self):
+        tr = Trace(2, [(3.0, 1), (12.0, 0)])
+        res, pol = _run(tr, FixedPredictor(False))
+        assert pol.classifications[1].rtype is RequestType.TYPE_2
+        alloc = allocate_costs(res, pol.classifications)
+        # r_2: (t - t') + l + lambda = (12 - 8) + 5 + 10 = 19
+        assert alloc[2] == pytest.approx(19.0)
+
+    def test_dummy_request_not_allocated(self):
+        tr = Trace(2, [(3.0, 1)])
+        res, pol = _run(tr, FixedPredictor(False))
+        alloc = allocate_costs(res, pol.classifications)
+        assert 0 not in alloc
+
+
+class TestAllocationIdentity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sum_equals_paper_total_random(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(15):
+            n = int(rng.integers(1, 6))
+            m = int(rng.integers(1, 35))
+            lam = float(rng.uniform(0.2, 6.0))
+            alpha = float(rng.uniform(0.05, 1.0))
+            acc = float(rng.uniform(0.0, 1.0))
+            tr = uniform_random_trace(
+                n, m, horizon=float(rng.uniform(1, 60)), seed=int(rng.integers(2**31))
+            )
+            model = CostModel(lam=lam, n=n)
+            pol = LearningAugmentedReplication(
+                NoisyOraclePredictor(tr, acc, seed=seed), alpha
+            )
+            res = simulate(tr, model, pol)
+            total = paper_total_cost(res)
+            alloc = allocate_costs(res, pol.classifications)
+            assert sum(alloc.values()) == pytest.approx(total, rel=1e-9)
+
+    def test_measured_cost_at_most_paper_total(self):
+        rng = np.random.default_rng(77)
+        for _ in range(30):
+            n = int(rng.integers(1, 5))
+            m = int(rng.integers(1, 30))
+            tr = uniform_random_trace(
+                n, m, horizon=20.0, seed=int(rng.integers(2**31))
+            )
+            model = CostModel(lam=2.0, n=n)
+            pol = LearningAugmentedReplication(FixedPredictor(False), 0.3)
+            res = simulate(tr, model, pol)
+            assert res.total_cost <= paper_total_cost(res) + 1e-9
+
+    def test_allocation_covers_all_requests(self):
+        tr = uniform_random_trace(3, 20, horizon=40.0, seed=5)
+        res, pol = _run(tr, FixedPredictor(True))
+        alloc = allocate_costs(res, pol.classifications)
+        assert set(alloc) == {r.index for r in tr}
+
+    def test_all_allocations_nonnegative(self):
+        tr = uniform_random_trace(4, 25, horizon=50.0, seed=9)
+        res, pol = _run(tr, NoisyOraclePredictor(tr, 0.5, seed=2))
+        alloc = allocate_costs(res, pol.classifications)
+        assert all(v >= 0 for v in alloc.values())
+
+
+class TestPaperTotal:
+    def test_excludes_final_request_copy(self):
+        # single request: its post-request copy is excluded, so the paper
+        # total is the transfer + initial copy's intended duration
+        tr = Trace(2, [(3.0, 1)])
+        res, pol = _run(tr, FixedPredictor(False))
+        # transfer 10; initial copy at server 0 (duration 5, dropped...
+        # actually it is dropped when serving?) -> it expired at 5 as the
+        # only... server1 holds a copy from t=3, so at t=5 c=2 -> drop,
+        # charging its full duration 5. Total = 10 + 5.
+        assert paper_total_cost(res) == pytest.approx(15.0)
+
+    def test_rejects_infinite_durations(self):
+        from repro import AlwaysHold
+
+        tr = Trace(2, [(3.0, 1)])
+        res = simulate(tr, CostModel(lam=LAM, n=2), AlwaysHold())
+        with pytest.raises(ValueError, match="finite"):
+            paper_total_cost(res)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.requests == 2000
+
+    def test_sweep_repeatable_lambda(self):
+        args = build_parser().parse_args(
+            ["sweep", "--lambda", "10", "--lambda", "100"]
+        )
+        assert args.lam == [10.0, 100.0]
+
+    def test_tight_options(self):
+        args = build_parser().parse_args(["tight", "--alpha", "0.3"])
+        assert args.alpha == 0.3
+
+
+class TestCommands:
+    def test_tight_runs(self, capsys):
+        assert main(["tight", "--alpha", "0.5", "--m", "301"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figure 6" in out
+
+    def test_wang_runs(self, capsys):
+        assert main(["wang", "--m", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "2.5" in out
+
+    def test_adversary_runs(self, capsys):
+        assert main(["adversary", "--requests", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 9" in out
+
+    def test_sweep_runs_small(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--lambda",
+                    "100",
+                    "--requests",
+                    "200",
+                    "--coarse",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "lambda = 100" in out
+
+    def test_adaptive_runs_small(self, capsys):
+        assert main(["adaptive", "--requests", "300", "--beta", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+    def test_sweep_heatmap_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--lambda",
+                    "100",
+                    "--requests",
+                    "150",
+                    "--coarse",
+                    "--heatmap",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "heat map" in out and "legend" in out

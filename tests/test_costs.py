@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CostLedger, CostModel
+
+
+class TestCostModel:
+    def test_defaults_uniform(self):
+        m = CostModel(lam=5.0, n=3)
+        assert m.storage_rates == (1.0, 1.0, 1.0)
+        assert m.uniform_storage
+
+    def test_custom_rates(self):
+        m = CostModel(lam=5.0, n=2, storage_rates=(1.0, 2.0))
+        assert not m.uniform_storage
+        assert m.rate(1) == 2.0
+
+    def test_lambda_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostModel(lam=0.0, n=1)
+        with pytest.raises(ValueError):
+            CostModel(lam=-1.0, n=1)
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostModel(lam=1.0, n=0)
+
+    def test_rates_length_checked(self):
+        with pytest.raises(ValueError):
+            CostModel(lam=1.0, n=3, storage_rates=(1.0, 1.0))
+
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostModel(lam=1.0, n=2, storage_rates=(1.0, 0.0))
+
+    def test_ski_rental_horizon(self):
+        m = CostModel(lam=10.0, n=2, storage_rates=(1.0, 4.0))
+        assert m.ski_rental_horizon(0) == 10.0
+        assert m.ski_rental_horizon(1) == 2.5
+
+    def test_frozen(self):
+        m = CostModel(lam=1.0, n=1)
+        with pytest.raises(AttributeError):
+            m.lam = 2.0  # type: ignore[misc]
+
+
+class TestCostLedger:
+    def test_initial_state(self):
+        led = CostLedger(CostModel(lam=3.0, n=2))
+        assert led.total == 0.0
+        assert led.n_transfers == 0
+
+    def test_add_storage(self):
+        led = CostLedger(CostModel(lam=3.0, n=2))
+        cost = led.add_storage(1, 4.0)
+        assert cost == 4.0
+        assert led.storage == 4.0
+        assert led.storage_by_server[1] == 4.0
+        assert led.storage_by_server[0] == 0.0
+
+    def test_add_storage_rate_scaled(self):
+        led = CostLedger(CostModel(lam=3.0, n=2, storage_rates=(1.0, 2.5)))
+        assert led.add_storage(1, 4.0) == 10.0
+
+    def test_zero_duration_ok(self):
+        led = CostLedger(CostModel(lam=3.0, n=1))
+        assert led.add_storage(0, 0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        led = CostLedger(CostModel(lam=3.0, n=1))
+        with pytest.raises(ValueError):
+            led.add_storage(0, -1.0)
+
+    def test_add_transfer(self):
+        led = CostLedger(CostModel(lam=3.0, n=2))
+        assert led.add_transfer(1) == 3.0
+        assert led.transfer == 3.0
+        assert led.n_transfers == 1
+        assert led.transfers_by_dest[1] == 1
+
+    def test_total(self):
+        led = CostLedger(CostModel(lam=3.0, n=2))
+        led.add_storage(0, 2.0)
+        led.add_transfer(1)
+        assert led.total == 5.0
+
+    def test_snapshot(self):
+        led = CostLedger(CostModel(lam=3.0, n=1))
+        led.add_transfer(0)
+        snap = led.snapshot()
+        assert snap["transfer"] == 3.0
+        assert snap["n_transfers"] == 1.0
+        assert snap["total"] == 3.0
+
+    def test_consistency_check_passes(self):
+        led = CostLedger(CostModel(lam=3.0, n=2))
+        led.add_storage(0, 1.0)
+        led.add_transfer(1)
+        led.check_consistency()
+
+    def test_consistency_check_detects_corruption(self):
+        led = CostLedger(CostModel(lam=3.0, n=2))
+        led.add_storage(0, 1.0)
+        led.storage = 999.0
+        with pytest.raises(AssertionError):
+            led.check_consistency()
+
+    def test_breakdowns_accumulate(self):
+        led = CostLedger(CostModel(lam=2.0, n=3))
+        led.add_storage(0, 1.0)
+        led.add_storage(2, 3.0)
+        led.add_transfer(2)
+        led.add_transfer(2)
+        assert np.allclose(led.storage_by_server, [1.0, 0.0, 3.0])
+        assert list(led.transfers_by_dest) == [0, 0, 2]

@@ -1,0 +1,139 @@
+"""Drain semantics, large-instance stress, and cross-module consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    NoisyOraclePredictor,
+    Trace,
+    WangReplication,
+    optimal_cost,
+    simulate,
+)
+from repro.analysis import allocate_costs, paper_total_cost
+from repro.analysis.theory import robustness_bound
+from repro.core.validate import validate_result
+from repro.workloads import ibm_like_trace, poisson_trace
+
+
+class TestDrainSemantics:
+    def test_drain_does_not_change_measured_cost(self):
+        tr = Trace(2, [(3.0, 1), (12.0, 1), (14.0, 0)])
+        model = CostModel(lam=10.0, n=2)
+        a = simulate(
+            tr, model, LearningAugmentedReplication(FixedPredictor(False), 0.5),
+            drain=True,
+        )
+        b = simulate(
+            tr, model, LearningAugmentedReplication(FixedPredictor(False), 0.5),
+            drain=False,
+        )
+        assert a.total_cost == pytest.approx(b.total_cost)
+        assert a.ledger.n_transfers == b.ledger.n_transfers
+
+    def test_drain_resolves_all_regular_copies(self):
+        # after draining, exactly one alive record remains (the final
+        # special copy) and everything else is closed
+        tr = Trace(3, [(3.0, 1), (4.0, 2), (10.0, 0)])
+        model = CostModel(lam=10.0, n=3)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        res = simulate(tr, model, pol, drain=True)
+        alive = [r for r in res.copy_records if r.closed_by == "alive"]
+        assert len(alive) == 1
+        assert alive[0].is_special_at_end
+
+    def test_drain_cap_terminates_wang_renewals(self):
+        # Wang's cheapest-server renewal loop would drain forever; the
+        # event cap must stop it
+        tr = Trace(2, [(1.0, 0)])
+        model = CostModel(lam=5.0, n=2)
+        res = simulate(tr, model, WangReplication(), drain=True)
+        assert res.total_cost == pytest.approx(1.0)  # storage (0,1) only
+
+    def test_no_drain_leaves_pending_records_alive(self):
+        tr = Trace(2, [(3.0, 1)])
+        model = CostModel(lam=10.0, n=2)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        res = simulate(tr, model, pol, drain=False)
+        alive = [r for r in res.copy_records if r.closed_by == "alive"]
+        assert len(alive) >= 1
+
+
+class TestPaperScaleStress:
+    @pytest.fixture(scope="class")
+    def big(self):
+        return ibm_like_trace(n=10, m=11688, seed=0)
+
+    def test_full_trace_run_validates(self, big):
+        model = CostModel(lam=1000.0, n=10)
+        pol = LearningAugmentedReplication(
+            NoisyOraclePredictor(big, 0.8, seed=1), 0.3
+        )
+        res = simulate(big, model, pol)
+        assert validate_result(res).ok
+
+    def test_full_trace_allocation_identity(self, big):
+        model = CostModel(lam=1000.0, n=10)
+        pol = LearningAugmentedReplication(
+            NoisyOraclePredictor(big, 0.5, seed=2), 0.4
+        )
+        res = simulate(big, model, pol)
+        total = paper_total_cost(res)
+        alloc = allocate_costs(res, pol.classifications)
+        assert sum(alloc.values()) == pytest.approx(total, rel=1e-9)
+
+    def test_full_trace_robustness_bound(self, big):
+        model = CostModel(lam=1000.0, n=10)
+        opt = optimal_cost(big, model)
+        pol = LearningAugmentedReplication(
+            NoisyOraclePredictor(big, 0.0, seed=3), 0.25
+        )
+        res = simulate(big, model, pol)
+        assert res.total_cost <= robustness_bound(0.25) * opt + 1e-6
+
+    def test_many_servers(self):
+        tr = poisson_trace(n=50, rate=0.5, horizon=2000.0, seed=4)
+        model = CostModel(lam=20.0, n=50)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        res = simulate(tr, model, pol)
+        assert validate_result(res).ok
+        assert optimal_cost(tr, model) <= res.total_cost + 1e-7
+
+    def test_single_server_degenerate(self):
+        # n = 1: no transfers are ever possible; everything is storage
+        tr = poisson_trace(n=1, rate=0.2, horizon=500.0, seed=5, zipf_exponent=None)
+        model = CostModel(lam=10.0, n=1)
+        pol = LearningAugmentedReplication(FixedPredictor(True), 0.5)
+        res = simulate(tr, model, pol)
+        assert res.transfer_cost == 0.0
+        assert res.storage_cost == pytest.approx(tr.span)
+
+
+class TestNumericalEdgeCases:
+    def test_tiny_gaps(self):
+        items = [(1e-9 * (k + 1) + 1e-12 * k, k % 2) for k in range(10)]
+        tr = Trace(2, items)
+        model = CostModel(lam=1e-6, n=2)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        res = simulate(tr, model, pol)
+        assert optimal_cost(tr, model) <= res.total_cost + 1e-12
+
+    def test_huge_lambda(self):
+        tr = poisson_trace(n=3, rate=0.1, horizon=100.0, seed=6)
+        model = CostModel(lam=1e9, n=3)
+        pol = LearningAugmentedReplication(FixedPredictor(False), 0.5)
+        res = simulate(tr, model, pol)
+        opt = optimal_cost(tr, model)
+        assert res.total_cost <= 3.0 * opt + 1e-3  # robustness at alpha=0.5
+
+    def test_requests_at_same_server_only(self):
+        tr = Trace(4, [(float(k), 2) for k in range(1, 30)])
+        model = CostModel(lam=5.0, n=4)
+        pol = LearningAugmentedReplication(FixedPredictor(True), 0.5)
+        res = simulate(tr, model, pol)
+        assert res.ledger.n_transfers == 1  # only the first request

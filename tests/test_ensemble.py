@@ -1,0 +1,127 @@
+"""Tests for the ensemble predictors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CostModel,
+    EwmaPredictor,
+    FixedPredictor,
+    LastGapPredictor,
+    LearningAugmentedReplication,
+    SlidingWindowPredictor,
+    simulate,
+)
+from repro.predictions import (
+    MajorityVotePredictor,
+    WeightedMajorityPredictor,
+    evaluate_predictor,
+    realized_accuracy,
+)
+from repro.workloads import periodic_trace, uniform_random_trace
+
+
+class TestMajorityVote:
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            MajorityVotePredictor([])
+
+    def test_unanimous(self):
+        p = MajorityVotePredictor([FixedPredictor(True), FixedPredictor(True)])
+        assert p.predict_within(0, 0.0, 1.0)
+
+    def test_majority_wins(self):
+        p = MajorityVotePredictor(
+            [FixedPredictor(True), FixedPredictor(True), FixedPredictor(False)]
+        )
+        assert p.predict_within(0, 0.0, 1.0)
+
+    def test_tie_break(self):
+        p = MajorityVotePredictor(
+            [FixedPredictor(True), FixedPredictor(False)], tie_within=True
+        )
+        assert p.predict_within(0, 0.0, 1.0)
+        q = MajorityVotePredictor(
+            [FixedPredictor(True), FixedPredictor(False)], tie_within=False
+        )
+        assert not q.predict_within(0, 0.0, 1.0)
+
+    def test_observe_propagates(self):
+        ewma = EwmaPredictor()
+        p = MajorityVotePredictor([ewma])
+        p.observe(0, 0.0)
+        p.observe(0, 3.0)
+        assert ewma.predict_within(0, 3.0, 5.0)  # gap 3 learned
+
+
+class TestWeightedMajority:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WeightedMajorityPredictor([], eta=0.3)
+        with pytest.raises(ValueError):
+            WeightedMajorityPredictor([FixedPredictor(True)], eta=1.0)
+
+    def test_downweights_wrong_member(self):
+        # constant gaps of 3, lam=5: truth is always "within"; the
+        # always-"beyond" member must lose weight
+        good = FixedPredictor(True)
+        bad = FixedPredictor(False)
+        p = WeightedMajorityPredictor([good, bad], eta=0.5)
+        t = 0.0
+        p.observe(0, t)
+        for _ in range(10):
+            p.predict_within(0, t, 5.0)
+            t += 3.0
+            p.observe(0, t)
+        k, w = p.best_member()
+        assert k == 0
+        assert p.weights[0] > p.weights[1]
+
+    def test_tracks_best_member_accuracy(self):
+        # periodic trace: gap always 6; lam=7 -> truth "within" always.
+        tr = periodic_trace(n=2, period=3.0, cycles=40)
+        members = [FixedPredictor(True), FixedPredictor(False)]
+        p = WeightedMajorityPredictor(members, eta=0.4)
+        outcomes = evaluate_predictor(tr, p, lam=7.0)
+        # after warm-up the ensemble should match the good member
+        assert realized_accuracy(outcomes[10:]) > 0.9
+
+    def test_weights_stay_normalised(self):
+        tr = uniform_random_trace(3, 60, horizon=60.0, seed=5)
+        p = WeightedMajorityPredictor(
+            [LastGapPredictor(), EwmaPredictor(), FixedPredictor(False)], eta=0.3
+        )
+        evaluate_predictor(tr, p, lam=2.0)
+        assert sum(p.weights) == pytest.approx(len(p.weights))
+        assert all(w >= 0 for w in p.weights)
+
+    def test_plugs_into_algorithm1(self):
+        tr = uniform_random_trace(3, 40, horizon=80.0, seed=6)
+        model = CostModel(lam=3.0, n=3)
+        ensemble = WeightedMajorityPredictor(
+            [EwmaPredictor(), LastGapPredictor(), SlidingWindowPredictor(4)],
+            eta=0.3,
+        )
+        pol = LearningAugmentedReplication(ensemble, 0.3)
+        res = simulate(tr, model, pol)
+        res.log.verify_at_least_one_copy()
+        assert res.total_cost > 0
+
+    def test_ensemble_robust_to_one_bad_member(self):
+        # ensemble of one good learned predictor and two adversarially
+        # constant ones still performs close to the good member alone
+        tr = periodic_trace(n=2, period=2.0, cycles=80)
+        model = CostModel(lam=5.0, n=2)
+
+        good_only = simulate(
+            tr,
+            model,
+            LearningAugmentedReplication(SlidingWindowPredictor(3), 0.2),
+        )
+        ensemble = WeightedMajorityPredictor(
+            [SlidingWindowPredictor(3), FixedPredictor(False), FixedPredictor(False)],
+            eta=0.5,
+        )
+        mixed = simulate(tr, model, LearningAugmentedReplication(ensemble, 0.2))
+        assert mixed.total_cost <= good_only.total_cost * 1.4

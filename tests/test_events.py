@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import Event, EventKind, EventLog
+
+
+def _ev(t, kind, server=0, source=-1):
+    return Event(t, kind, server, source)
+
+
+class TestEventLog:
+    def test_append_and_len(self):
+        log = EventLog()
+        log.append(_ev(1.0, EventKind.REQUEST))
+        log.append(_ev(2.0, EventKind.CREATE))
+        assert len(log) == 2
+
+    def test_time_order_enforced(self):
+        log = EventLog()
+        log.append(_ev(2.0, EventKind.REQUEST))
+        with pytest.raises(ValueError):
+            log.append(_ev(1.0, EventKind.CREATE))
+
+    def test_equal_times_allowed(self):
+        log = EventLog()
+        log.append(_ev(1.0, EventKind.REQUEST))
+        log.append(_ev(1.0, EventKind.CREATE))
+        assert len(log) == 2
+
+    def test_of_kind(self):
+        log = EventLog()
+        log.append(_ev(1.0, EventKind.REQUEST))
+        log.append(_ev(2.0, EventKind.CREATE, 1))
+        log.append(_ev(3.0, EventKind.REQUEST))
+        assert len(log.of_kind(EventKind.REQUEST)) == 2
+        assert log.of_kind(EventKind.CREATE)[0].server == 1
+
+    def test_iter(self):
+        log = EventLog()
+        log.append(_ev(1.0, EventKind.REQUEST))
+        assert [e.time for e in log] == [1.0]
+
+
+class TestCopyCountTrajectory:
+    def test_empty_log_empty_trajectory(self):
+        log = EventLog()
+        assert log.copy_count_trajectory() == []
+
+    def test_create_drop_sequence(self):
+        log = EventLog()
+        log.append(_ev(0.0, EventKind.CREATE, 0))
+        log.append(_ev(1.0, EventKind.CREATE, 1))
+        log.append(_ev(2.0, EventKind.DROP, 0))
+        log.append(_ev(3.0, EventKind.CREATE, 2))
+        traj = log.copy_count_trajectory()
+        assert traj == [(0.0, 1), (1.0, 2), (2.0, 1), (3.0, 2)]
+
+    def test_verify_at_least_one_copy_ok(self):
+        log = EventLog()
+        log.append(_ev(0.0, EventKind.CREATE, 0))
+        log.append(_ev(1.0, EventKind.CREATE, 1))
+        log.append(_ev(2.0, EventKind.DROP, 0))
+        log.verify_at_least_one_copy()
+
+    def test_verify_at_least_one_copy_fails(self):
+        log = EventLog()
+        log.append(_ev(0.0, EventKind.CREATE, 0))
+        log.append(_ev(1.0, EventKind.DROP, 0))
+        log.append(_ev(2.0, EventKind.CREATE, 1))
+        with pytest.raises(AssertionError):
+            log.verify_at_least_one_copy()
+
+
+class TestHoldingsIntervals:
+    def test_initial_copy_interval(self):
+        log = EventLog()
+        log.append(_ev(0.0, EventKind.CREATE, 0))
+        log.append(_ev(5.0, EventKind.DROP, 0))
+        iv = log.holdings_intervals()
+        assert iv[0] == [(0.0, 5.0)]
+
+    def test_open_interval_closed_at_last_event(self):
+        log = EventLog()
+        log.append(_ev(1.0, EventKind.CREATE, 1))
+        log.append(_ev(9.0, EventKind.REQUEST, 1))
+        iv = log.holdings_intervals()
+        assert iv[1] == [(1.0, 9.0)]
+
+    def test_double_create_rejected(self):
+        log = EventLog()
+        log.append(_ev(1.0, EventKind.CREATE, 1))
+        log.append(_ev(2.0, EventKind.CREATE, 1))
+        with pytest.raises(ValueError):
+            log.holdings_intervals()
+
+    def test_drop_without_copy_rejected(self):
+        log = EventLog()
+        log.append(_ev(1.0, EventKind.DROP, 3))
+        with pytest.raises(ValueError):
+            log.holdings_intervals()
+
+    def test_multiple_intervals_per_server(self):
+        log = EventLog()
+        log.append(_ev(1.0, EventKind.CREATE, 1))
+        log.append(_ev(2.0, EventKind.DROP, 1))
+        log.append(_ev(3.0, EventKind.CREATE, 1))
+        log.append(_ev(4.0, EventKind.DROP, 1))
+        iv = log.holdings_intervals()
+        assert iv[1] == [(1.0, 2.0), (3.0, 4.0)]

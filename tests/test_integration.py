@@ -1,0 +1,146 @@
+"""End-to-end integration tests: the full experiment pipeline on small
+instances of each paper experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveReplication,
+    ConventionalReplication,
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    WangReplication,
+    optimal_cost,
+    simulate,
+)
+from repro.analysis.sweep import format_table, sweep_grid
+from repro.analysis.theory import consistency_bound, robustness_bound
+from repro.workloads import (
+    LowerBoundAdversary,
+    consistency_tight_trace,
+    ibm_like_trace,
+    robustness_tight_trace,
+    wang_counterexample_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return ibm_like_trace(n=6, m=800, span=80_000.0, seed=5)
+
+
+class TestExperimentE1MiniGrid:
+    """A reduced Figures 25-28 grid exercising the whole pipeline."""
+
+    @pytest.fixture(scope="class")
+    def grid(self, trace):
+        return sweep_grid(
+            trace,
+            lambdas=(20.0, 2000.0),
+            alphas=(0.0, 0.5, 1.0),
+            accuracies=(0.0, 1.0),
+            seed=1,
+        )
+
+    def test_grid_complete(self, grid):
+        assert len(grid.points) == 12
+
+    def test_bounds_hold(self, grid):
+        for p in grid.points:
+            if p.alpha > 0:
+                assert p.ratio <= robustness_bound(p.alpha) + 1e-7
+            if p.accuracy == 1.0:
+                assert p.ratio <= consistency_bound(p.alpha) + 1e-7
+
+    def test_table_renders(self, grid):
+        out = format_table(grid, 20.0)
+        assert "alpha" in out
+
+
+class TestExperimentE2Adaptive:
+    def test_adaptive_vs_plain_on_real_like_trace(self, trace):
+        model = CostModel(lam=2000.0, n=trace.n)
+        opt = optimal_cost(trace, model)
+        pred_bad = NoisyOraclePredictor(trace, 0.0, seed=2)
+        plain = simulate(
+            trace, model, LearningAugmentedReplication(pred_bad, 0.1)
+        )
+        pred_bad2 = NoisyOraclePredictor(trace, 0.0, seed=2)
+        adapted = simulate(
+            trace, model, AdaptiveReplication(pred_bad2, 0.1, beta=0.1, warmup=100)
+        )
+        # the adapted algorithm must not exceed its robustness target by
+        # more than the warm-up contribution
+        assert adapted.total_cost / opt <= 2.1 * 1.3
+        assert adapted.total_cost <= plain.total_cost + 1e-9
+
+
+class TestExperimentsE3E4E5E6:
+    def test_e3_robustness_tight(self):
+        lam, alpha = 30.0, 0.25
+        tr = robustness_tight_trace(lam, alpha, m=2001, eps=lam * 1e-5)
+        model = CostModel(lam=lam, n=2)
+        res = simulate(
+            tr, model, LearningAugmentedReplication(FixedPredictor(False), alpha)
+        )
+        ratio = res.total_cost / optimal_cost(tr, model)
+        assert ratio == pytest.approx(robustness_bound(alpha), rel=3e-3)
+
+    def test_e4_consistency_tight(self):
+        lam, alpha = 30.0, 0.25
+        tr = consistency_tight_trace(lam, cycles=150, eps=lam * 1e-6)
+        model = CostModel(lam=lam, n=2)
+        res = simulate(
+            tr, model, LearningAugmentedReplication(OraclePredictor(tr), alpha)
+        )
+        ratio = res.total_cost / optimal_cost(tr, model)
+        assert ratio == pytest.approx(consistency_bound(alpha), rel=1e-3)
+
+    def test_e5_wang_counterexample(self):
+        lam = 30.0
+        tr = wang_counterexample_trace(lam, m=800, eps=lam * 1e-5)
+        model = CostModel(lam=lam, n=2)
+        res = simulate(tr, model, WangReplication())
+        ratio = res.total_cost / optimal_cost(tr, model)
+        assert ratio == pytest.approx(2.5, rel=3e-3)
+
+    def test_e6_lower_bound_adversary(self):
+        lam = 30.0
+        adv = LowerBoundAdversary(lam=lam, eps=lam * 1e-4)
+        out = adv.run(ConventionalReplication(), n_requests=500)
+        ratio = out.result.total_cost / optimal_cost(
+            out.trace, CostModel(lam=lam, n=2)
+        )
+        assert ratio >= 1.5 - 0.01
+
+
+class TestCrossAlgorithmOrdering:
+    def test_oracle_beats_adversarial_predictions(self, trace):
+        model = CostModel(lam=500.0, n=trace.n)
+        good = simulate(
+            trace, model, LearningAugmentedReplication(OraclePredictor(trace), 0.2)
+        )
+        bad_pred = NoisyOraclePredictor(trace, 0.0, seed=3)
+        bad = simulate(trace, model, LearningAugmentedReplication(bad_pred, 0.2))
+        assert good.total_cost <= bad.total_cost
+
+    def test_accuracy_monotone_in_expectation(self, trace):
+        # averaged over seeds, higher accuracy should not hurt
+        model = CostModel(lam=500.0, n=trace.n)
+        opt = optimal_cost(trace, model)
+
+        def mean_ratio(acc):
+            costs = []
+            for seed in range(3):
+                pred = NoisyOraclePredictor(trace, acc, seed=seed)
+                pol = LearningAugmentedReplication(pred, 0.2)
+                costs.append(simulate(trace, model, pol).total_cost)
+            return float(np.mean(costs)) / opt
+
+        assert mean_ratio(1.0) <= mean_ratio(0.5) + 0.02
+        assert mean_ratio(0.5) <= mean_ratio(0.0) + 0.02

@@ -1,0 +1,186 @@
+"""Tests for the metrics instrumentation and ASCII rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AlwaysHold,
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    NeverHold,
+    Trace,
+    simulate,
+)
+from repro.analysis import (
+    ascii_heatmap,
+    replica_timeline,
+    serve_latency_proxy,
+    sparkline,
+    special_copy_stats,
+    storage_utilization,
+    transfer_load,
+)
+from repro.workloads import uniform_random_trace
+
+
+def _run(trace, lam=10.0, alpha=0.5, predictor=None):
+    model = CostModel(lam=lam, n=trace.n)
+    pol = LearningAugmentedReplication(
+        predictor or FixedPredictor(False), alpha
+    )
+    return simulate(trace, model, pol)
+
+
+class TestReplicaTimeline:
+    def test_starts_with_initial_copy(self):
+        res = _run(Trace(2, [(3.0, 1)]))
+        tl = replica_timeline(res)
+        assert tl.at(0.0) == 1
+
+    def test_transfer_creates_second_replica(self):
+        res = _run(Trace(2, [(3.0, 1)]))
+        tl = replica_timeline(res)
+        assert tl.at(3.0) == 2
+
+    def test_hand_scenario_counts(self):
+        # scenario from test_algorithm1: server 0 drops at t=5
+        res = _run(Trace(2, [(3.0, 1), (12.0, 1), (14.0, 0)]))
+        tl = replica_timeline(res)
+        assert tl.at(4.0) == 2
+        assert tl.at(6.0) == 1   # server 0 dropped at 5
+        assert tl.at(14.0) == 2  # transfer to server 0 at 14
+
+    def test_max_and_mean(self):
+        res = _run(Trace(2, [(3.0, 1), (12.0, 1), (14.0, 0)]))
+        tl = replica_timeline(res)
+        assert tl.max_replicas == 2
+        # storage cost = mean * span (rate 1): 16 = mean * 14
+        assert tl.time_weighted_mean(14.0) == pytest.approx(16.0 / 14.0)
+
+    def test_never_hold_constant_one(self):
+        tr = uniform_random_trace(3, 20, horizon=30.0, seed=1)
+        res = simulate(tr, CostModel(lam=1.0, n=3), NeverHold())
+        tl = replica_timeline(res)
+        assert tl.max_replicas == 1
+        assert tl.time_weighted_mean() == pytest.approx(1.0)
+
+    def test_always_hold_monotone(self):
+        tr = uniform_random_trace(4, 30, horizon=30.0, seed=2)
+        res = simulate(tr, CostModel(lam=1.0, n=4), AlwaysHold())
+        tl = replica_timeline(res)
+        assert np.all(np.diff(tl.counts) >= 0)
+
+
+class TestTransferLoad:
+    def test_counts_match_ledger(self):
+        tr = uniform_random_trace(4, 40, horizon=80.0, seed=3)
+        res = _run(tr, lam=2.0)
+        load = transfer_load(res)
+        assert load["incoming"].sum() == res.ledger.n_transfers
+        assert load["outgoing"].sum() == res.ledger.n_transfers
+
+    def test_incoming_matches_ledger_breakdown(self):
+        tr = uniform_random_trace(3, 30, horizon=60.0, seed=4)
+        res = _run(tr, lam=2.0)
+        load = transfer_load(res)
+        assert list(load["incoming"]) == list(res.ledger.transfers_by_dest)
+
+
+class TestServeLatencyProxy:
+    def test_fractions_sum_to_one(self):
+        tr = uniform_random_trace(3, 25, horizon=40.0, seed=5)
+        res = _run(tr)
+        stats = serve_latency_proxy(res)
+        assert stats["local_fraction"] + stats["transfer_fraction"] == pytest.approx(1.0)
+        assert stats["requests"] == 25
+
+    def test_empty_trace(self):
+        res = _run(Trace(2, []))
+        assert serve_latency_proxy(res)["local_fraction"] == 1.0
+
+    def test_dense_local_traffic_served_locally(self):
+        tr = Trace(1, [(float(k), 0) for k in range(1, 20)])
+        res = _run(tr, lam=100.0, predictor=FixedPredictor(True))
+        assert serve_latency_proxy(res)["local_fraction"] == 1.0
+
+
+class TestSpecialCopyStats:
+    def test_silent_period_counted(self):
+        # server 1's copy becomes special at 8 and serves r_2 at 12
+        res = _run(Trace(2, [(3.0, 1), (12.0, 1)]))
+        stats = special_copy_stats(res)
+        assert stats["episodes"] >= 1
+        assert stats["special_time"] >= 4.0 - 1e-9
+
+    def test_no_special_when_requests_dense(self):
+        tr = Trace(1, [(1.0, 0), (2.0, 0), (3.0, 0)])
+        res = _run(tr, lam=10.0, predictor=FixedPredictor(True))
+        stats = special_copy_stats(res)
+        assert stats["special_time"] == pytest.approx(0.0)
+
+    def test_fraction_bounded(self):
+        tr = uniform_random_trace(3, 30, horizon=60.0, seed=6)
+        res = _run(tr)
+        assert 0.0 <= special_copy_stats(res)["special_fraction"] <= 1.0
+
+
+class TestStorageUtilization:
+    def test_sums_to_storage_cost_over_span(self):
+        tr = uniform_random_trace(3, 30, horizon=50.0, seed=7)
+        res = _run(tr, lam=3.0)
+        util = storage_utilization(res)
+        assert sum(util.values()) * tr.span == pytest.approx(res.storage_cost)
+
+    def test_untouched_server_zero(self):
+        res = _run(Trace(3, [(5.0, 1)]))
+        assert storage_utilization(res)[2] == 0.0
+
+
+class TestAsciiRendering:
+    def test_heatmap_shape(self):
+        mat = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = ascii_heatmap(mat, ["r0", "r1"], ["c0", "c1"], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title + header + 2 rows + legend
+
+    def test_heatmap_extremes(self):
+        mat = np.array([[0.0, 10.0]])
+        out = ascii_heatmap(mat, ["r"], ["lo", "hi"])
+        assert "@" in out and "legend" in out
+
+    def test_heatmap_nan_rendered(self):
+        mat = np.array([[np.nan, 1.0]])
+        out = ascii_heatmap(mat, ["r"], ["a", "b"])
+        assert "?" in out
+
+    def test_heatmap_label_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones((2, 2)), ["r"], ["a", "b"])
+
+    def test_sparkline_monotone(self):
+        s = sparkline([1, 2, 3, 4])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_sparkline_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_resample(self):
+        assert len(sparkline(range(100), width=10)) == 10
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_render_sweep_heatmap(self):
+        from repro.analysis.sweep import sweep_grid
+        from repro.workloads import ibm_like_trace
+
+        tr = ibm_like_trace(n=3, m=150, span=10_000.0, seed=8)
+        grid = sweep_grid(tr, (50.0,), (0.5, 1.0), (0.0, 1.0))
+        from repro.analysis import render_sweep_heatmap
+
+        out = render_sweep_heatmap(grid, 50.0)
+        assert "a=0.5" in out and "100%" in out

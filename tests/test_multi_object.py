@@ -1,0 +1,145 @@
+"""Tests for the multi-object system layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConventionalReplication,
+    CostModel,
+    LearningAugmentedReplication,
+    OraclePredictor,
+    Trace,
+    TraceError,
+    optimal_cost,
+    simulate,
+)
+from repro.system import (
+    FleetReport,
+    MultiObjectSystem,
+    ObjectSpec,
+    split_trace_by_object,
+)
+from repro.workloads import uniform_random_trace
+
+
+def oracle_factory(alpha=0.3):
+    def factory(trace, model):
+        return LearningAugmentedReplication(OraclePredictor(trace), alpha)
+
+    return factory
+
+
+def conventional_factory(trace, model):
+    return ConventionalReplication()
+
+
+class TestObjectSpec:
+    def test_lambda_validated(self):
+        tr = Trace(2, [(1.0, 1)])
+        with pytest.raises(ValueError):
+            ObjectSpec("o", tr, lam=0.0, policy_factory=conventional_factory)
+
+
+class TestMultiObjectSystem:
+    def _specs(self, n=3, k=4):
+        specs = []
+        for i in range(k):
+            tr = uniform_random_trace(n, 15 + i * 5, horizon=40.0, seed=i)
+            specs.append(
+                ObjectSpec(
+                    f"obj-{i}", tr, lam=float(i + 1), policy_factory=oracle_factory()
+                )
+            )
+        return specs
+
+    def test_duplicate_ids_rejected(self):
+        tr = uniform_random_trace(2, 5, 10.0, seed=0)
+        specs = [
+            ObjectSpec("same", tr, 1.0, conventional_factory),
+            ObjectSpec("same", tr, 1.0, conventional_factory),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            MultiObjectSystem(2, specs)
+
+    def test_trace_n_mismatch_rejected(self):
+        tr = uniform_random_trace(3, 5, 10.0, seed=0)
+        with pytest.raises(ValueError, match="trace.n"):
+            MultiObjectSystem(
+                2, [ObjectSpec("o", tr, 1.0, conventional_factory)]
+            )
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            MultiObjectSystem(0, [])
+
+    def test_run_aggregates(self):
+        system = MultiObjectSystem(3, self._specs())
+        report = system.run()
+        assert len(report.outcomes) == 4
+        assert report.online_total == pytest.approx(
+            sum(o.online for o in report.outcomes)
+        )
+        assert report.optimal_total == pytest.approx(
+            sum(o.optimal for o in report.outcomes)
+        )
+
+    def test_per_object_matches_standalone(self):
+        specs = self._specs(k=2)
+        report = MultiObjectSystem(3, specs).run()
+        for spec, outcome in zip(specs, report.outcomes):
+            model = CostModel(lam=spec.lam, n=3)
+            pol = LearningAugmentedReplication(OraclePredictor(spec.trace), 0.3)
+            standalone = simulate(spec.trace, model, pol)
+            assert outcome.online == pytest.approx(standalone.total_cost)
+            assert outcome.optimal == pytest.approx(
+                optimal_cost(spec.trace, model)
+            )
+
+    def test_fleet_ratio_between_min_and_max(self):
+        report = MultiObjectSystem(3, self._specs()).run()
+        ratios = [o.ratio for o in report.outcomes]
+        assert min(ratios) - 1e-9 <= report.fleet_ratio <= max(ratios) + 1e-9
+        assert report.worst_object_ratio == pytest.approx(max(ratios))
+
+    def test_skip_optimal(self):
+        report = MultiObjectSystem(3, self._specs(k=1)).run(compute_optimal=False)
+        assert report.outcomes[0].optimal == 0.0
+
+    def test_summary_table(self):
+        report = MultiObjectSystem(3, self._specs(k=2)).run()
+        table = report.summary_table()
+        assert "obj-0" in table and "TOTAL" in table
+
+    def test_by_object(self):
+        report = MultiObjectSystem(3, self._specs(k=2)).run()
+        assert set(report.by_object()) == {"obj-0", "obj-1"}
+
+    def test_empty_fleet(self):
+        report = FleetReport()
+        assert report.fleet_ratio == 1.0
+        assert report.worst_object_ratio == 1.0
+
+
+class TestSplitByObject:
+    def test_basic_split(self):
+        accesses = [
+            (1.0, 0, "a"),
+            (2.0, 1, "b"),
+            (3.0, 1, "a"),
+            (4.0, 0, "b"),
+        ]
+        traces = split_trace_by_object(accesses, n=2)
+        assert set(traces) == {"a", "b"}
+        assert [r.time for r in traces["a"]] == [1.0, 3.0]
+        assert [r.server for r in traces["b"]] == [1, 0]
+
+    def test_unordered_input(self):
+        accesses = [(3.0, 0, "a"), (1.0, 1, "a")]
+        traces = split_trace_by_object(accesses, n=2)
+        assert [r.time for r in traces["a"]] == [1.0, 3.0]
+
+    def test_collision_raises_with_object_id(self):
+        accesses = [(1.0, 0, "x"), (1.0, 1, "x")]
+        with pytest.raises(TraceError, match="object x"):
+            split_trace_by_object(accesses, n=2)

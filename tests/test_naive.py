@@ -1,0 +1,114 @@
+"""Tests for the naive baselines and the conventional algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AlwaysHold,
+    BlindFollowPredictions,
+    ConventionalReplication,
+    CostModel,
+    FixedPredictor,
+    NeverHold,
+    OraclePredictor,
+    Trace,
+    optimal_cost,
+    simulate,
+)
+from repro.workloads import uniform_random_trace
+
+
+class TestAlwaysHold:
+    def test_one_transfer_per_server(self):
+        tr = Trace(3, [(1.0, 1), (2.0, 2), (3.0, 1), (4.0, 2)])
+        res = simulate(tr, CostModel(lam=5.0, n=3), AlwaysHold())
+        assert res.ledger.n_transfers == 2
+
+    def test_storage_blowup_scales_with_servers(self):
+        # every strategy must store >= 1 copy over the span, so the blow-up
+        # factor is the number of needlessly replicated servers
+        tr = Trace(
+            6, [(1.0, 1), (2.0, 2), (3.0, 3), (4.0, 4), (5.0, 5), (5000.0, 1)]
+        )
+        model = CostModel(lam=5.0, n=6)
+        res = simulate(tr, model, AlwaysHold())
+        opt = optimal_cost(tr, model)
+        assert res.total_cost > 4 * opt  # ~6 copies held vs 1 needed
+
+    def test_good_on_dense_trace(self):
+        tr = Trace(2, [(0.1 * k, k % 2) for k in range(1, 50)])
+        model = CostModel(lam=100.0, n=2)
+        res = simulate(tr, model, AlwaysHold())
+        opt = optimal_cost(tr, model)
+        assert res.total_cost <= 3 * opt
+
+
+class TestNeverHold:
+    def test_single_copy_always(self):
+        tr = uniform_random_trace(3, 20, horizon=30.0, seed=2)
+        res = simulate(tr, CostModel(lam=1.0, n=3), NeverHold())
+        traj = res.log.copy_count_trajectory()
+        assert traj == [(0.0, 1)]  # only the initial copy, never replicated
+
+    def test_transfer_per_remote_request(self):
+        tr = Trace(2, [(1.0, 1), (2.0, 1), (3.0, 0)])
+        res = simulate(tr, CostModel(lam=5.0, n=2), NeverHold())
+        assert res.ledger.n_transfers == 2  # both server-1 requests
+
+    def test_unbounded_transfers_on_dense_trace(self):
+        tr = Trace(2, [(0.01 * k, 1) for k in range(1, 200)])
+        model = CostModel(lam=50.0, n=2)
+        res = simulate(tr, model, NeverHold())
+        opt = optimal_cost(tr, model)
+        assert res.total_cost > 10 * opt
+
+
+class TestBlindFollow:
+    def test_perfect_predictions_near_optimal(self):
+        tr = uniform_random_trace(3, 40, horizon=60.0, seed=8)
+        model = CostModel(lam=2.0, n=3)
+        res = simulate(tr, model, BlindFollowPredictions(OraclePredictor(tr)))
+        opt = optimal_cost(tr, model)
+        # blind following of perfect predictions is per-server optimal;
+        # small overhead only from the at-least-one-copy constraint
+        assert res.total_cost <= opt * 1.6
+
+    def test_wrong_within_prediction_is_catastrophic(self):
+        # "within" mispredictions pin a copy at every touched server for
+        # the whole silent period; the blow-up factor scales with the
+        # number of servers (unbounded robustness in the paper's sense)
+        tr = Trace(
+            6,
+            [(1.0, 1), (2.0, 2), (3.0, 3), (4.0, 4), (5.0, 5), (10_000.0, 1)],
+        )
+        model = CostModel(lam=10.0, n=6)
+        res = simulate(tr, model, BlindFollowPredictions(FixedPredictor(True)))
+        opt = optimal_cost(tr, model)
+        assert res.total_cost > 4 * opt
+
+    def test_invariant_maintained(self):
+        tr = uniform_random_trace(4, 30, horizon=100.0, seed=3)
+        res = simulate(
+            tr, CostModel(lam=1.0, n=4), BlindFollowPredictions(FixedPredictor(False))
+        )
+        res.log.verify_at_least_one_copy()
+
+
+class TestConventional:
+    def test_is_two_competitive(self):
+        for seed in range(10):
+            tr = uniform_random_trace(4, 40, horizon=50.0, seed=seed)
+            model = CostModel(lam=2.0, n=4)
+            res = simulate(tr, model, ConventionalReplication())
+            opt = optimal_cost(tr, model)
+            assert res.total_cost <= 2.0 * opt + 1e-7
+
+    def test_durations_always_lambda(self):
+        tr = Trace(2, [(1.0, 1), (5.0, 0)])
+        pol = ConventionalReplication()
+        simulate(tr, CostModel(lam=7.0, n=2), pol)
+        assert all(c.duration_set == 7.0 for c in pol.classifications)
+
+    def test_name(self):
+        assert "alpha=1" in ConventionalReplication().name

@@ -1,0 +1,142 @@
+"""Tests for the Section 5 partition (division) machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdversarialPredictor,
+    CostModel,
+    LearningAugmentedReplication,
+    OraclePredictor,
+    Trace,
+    optimal_cost,
+    simulate,
+)
+from repro.analysis.partition import (
+    find_partitions,
+    partition_report,
+    reconstruct_optimal_holdings,
+)
+from repro.analysis.theory import consistency_bound, robustness_bound
+from repro.workloads import consistency_tight_trace, uniform_random_trace
+
+
+class TestReconstruction:
+    def test_cost_identity_random(self):
+        rng = np.random.default_rng(5)
+        for trial in range(60):
+            n = int(rng.integers(1, 5))
+            m = int(rng.integers(1, 30))
+            lam = float(rng.uniform(0.3, 6.0))
+            tr = uniform_random_trace(n, m, 40.0, seed=trial)
+            model = CostModel(lam=lam, n=n)
+            h = reconstruct_optimal_holdings(tr, model)
+            storage = sum(
+                (b - a) * model.rate(s)
+                for s, ivs in h.intervals.items()
+                for a, b in ivs
+            )
+            recon = storage + lam * len(h.transfers)
+            assert recon == pytest.approx(h.total_cost, rel=1e-9, abs=1e-9)
+            assert h.total_cost == pytest.approx(optimal_cost(tr, model))
+
+    def test_dense_single_server_all_local(self):
+        tr = Trace(1, [(1.0, 0), (2.0, 0), (3.0, 0)])
+        h = reconstruct_optimal_holdings(tr, CostModel(lam=10.0, n=1))
+        assert h.transfers == ()
+        assert h.intervals[0] == [(0.0, 3.0)]
+
+    def test_sparse_remote_requests_all_transfers(self):
+        tr = Trace(3, [(10.0, 1), (20.0, 2)])
+        h = reconstruct_optimal_holdings(tr, CostModel(lam=1.0, n=3))
+        assert len(h.transfers) == 2
+
+    def test_holder_crossing(self):
+        tr = Trace(1, [(1.0, 0), (2.0, 0)])
+        h = reconstruct_optimal_holdings(tr, CostModel(lam=10.0, n=1))
+        assert h.holder_crossing(1.5) == 0
+        assert h.holder_crossing(1.5, exclude=0) is None
+
+
+class TestPartitionBoundaries:
+    def test_boundaries_cover_sequence(self):
+        tr = uniform_random_trace(3, 20, 30.0, seed=9)
+        h = reconstruct_optimal_holdings(tr, CostModel(lam=2.0, n=3))
+        parts = find_partitions(tr, h)
+        assert parts[0][0] == 0
+        assert parts[-1][1] == len(tr)
+        for (a, b), (c, d) in zip(parts, parts[1:]):
+            assert b == c
+            assert a < b
+
+    def test_singleton_trace(self):
+        tr = Trace(2, [(5.0, 1)])
+        h = reconstruct_optimal_holdings(tr, CostModel(lam=1.0, n=2))
+        parts = find_partitions(tr, h)
+        assert parts == [(0, 1)]
+
+    def test_isolated_requests_form_case_a_partitions(self):
+        # each server is visited once, so no inter-request interval can be
+        # kept: the optimal strategy is a single bridged copy and every
+        # request is a partition boundary (the paper's Case A shape)
+        tr = Trace(4, [(100.0, 1), (200.0, 2), (300.0, 3)])
+        h = reconstruct_optimal_holdings(tr, CostModel(lam=1.0, n=4))
+        parts = find_partitions(tr, h)
+        assert len(parts) == 3
+
+
+class TestPerPartitionBounds:
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 1.0])
+    def test_consistency_bound_per_partition(self, alpha):
+        rng = np.random.default_rng(int(alpha * 100))
+        for trial in range(20):
+            n = int(rng.integers(1, 5))
+            m = int(rng.integers(1, 25))
+            lam = float(rng.uniform(0.3, 6.0))
+            tr = uniform_random_trace(n, m, 30.0, seed=trial)
+            model = CostModel(lam=lam, n=n)
+            pol = LearningAugmentedReplication(OraclePredictor(tr), alpha)
+            res = simulate(tr, model, pol)
+            for p in partition_report(tr, model, res, pol.classifications):
+                assert p.ratio <= consistency_bound(alpha) + 1e-7, p
+
+    @pytest.mark.parametrize("alpha", [0.3, 0.7, 1.0])
+    def test_robustness_bound_per_partition(self, alpha):
+        rng = np.random.default_rng(int(alpha * 77))
+        for trial in range(20):
+            n = int(rng.integers(1, 5))
+            m = int(rng.integers(1, 25))
+            lam = float(rng.uniform(0.3, 6.0))
+            tr = uniform_random_trace(n, m, 30.0, seed=500 + trial)
+            model = CostModel(lam=lam, n=n)
+            pol = LearningAugmentedReplication(AdversarialPredictor(tr), alpha)
+            res = simulate(tr, model, pol)
+            for p in partition_report(tr, model, res, pol.classifications):
+                assert p.ratio <= robustness_bound(alpha) + 1e-7, p
+
+    def test_partition_sums_match_totals(self):
+        from repro.analysis import allocate_costs
+
+        tr = uniform_random_trace(4, 30, 50.0, seed=3)
+        model = CostModel(lam=2.0, n=4)
+        pol = LearningAugmentedReplication(OraclePredictor(tr), 0.4)
+        res = simulate(tr, model, pol)
+        parts = partition_report(tr, model, res, pol.classifications)
+        alloc = allocate_costs(res, pol.classifications)
+        assert sum(p.online for p in parts) == pytest.approx(sum(alloc.values()))
+        assert sum(p.opt for p in parts) == pytest.approx(
+            optimal_cost(tr, model), rel=1e-9
+        )
+
+    def test_tight_example_partition_ratio(self):
+        # on the Figure 6 instance, at least one partition must be near
+        # the consistency bound (that is what tightness means)
+        lam, alpha = 10.0, 0.5
+        tr = consistency_tight_trace(lam, cycles=10, eps=lam * 1e-6)
+        model = CostModel(lam=lam, n=2)
+        pol = LearningAugmentedReplication(OraclePredictor(tr), alpha)
+        res = simulate(tr, model, pol)
+        parts = partition_report(tr, model, res, pol.classifications)
+        assert max(p.ratio for p in parts) > consistency_bound(alpha) - 0.15

@@ -1,0 +1,154 @@
+"""Tests for oracle-derived predictors and accuracy measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdversarialPredictor,
+    FixedPredictor,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    Trace,
+)
+from repro.predictions import (
+    classify_mispredictions,
+    evaluate_predictor,
+    ground_truth_within,
+    realized_accuracy,
+)
+from repro.workloads import uniform_random_trace
+
+
+class TestGroundTruth:
+    def test_within(self):
+        tr = Trace(2, [(1.0, 1), (5.0, 1)])
+        assert ground_truth_within(tr, 1, 1.0, lam=4.0)
+        assert ground_truth_within(tr, 1, 1.0, lam=4.0 + 1e-9)
+
+    def test_beyond(self):
+        tr = Trace(2, [(1.0, 1), (5.0, 1)])
+        assert not ground_truth_within(tr, 1, 1.0, lam=3.9)
+
+    def test_boundary_inclusive(self):
+        # "no later than t + lam" is inclusive (Algorithm 1 line 10)
+        tr = Trace(2, [(1.0, 1), (5.0, 1)])
+        assert ground_truth_within(tr, 1, 1.0, lam=4.0)
+
+    def test_no_next_request_is_beyond(self):
+        tr = Trace(2, [(1.0, 1)])
+        assert not ground_truth_within(tr, 1, 1.0, lam=100.0)
+
+    def test_dummy_request_truth(self):
+        tr = Trace(2, [(3.0, 0)])
+        assert ground_truth_within(tr, 0, 0.0, lam=3.0)
+        assert not ground_truth_within(tr, 0, 0.0, lam=2.9)
+
+    def test_untouched_server(self):
+        tr = Trace(3, [(1.0, 1)])
+        assert not ground_truth_within(tr, 2, 0.0, lam=100.0)
+
+
+class TestOracle:
+    def test_always_correct(self):
+        tr = uniform_random_trace(3, 30, horizon=30.0, seed=0)
+        outcomes = evaluate_predictor(tr, OraclePredictor(tr), lam=2.0)
+        assert realized_accuracy(outcomes) == 1.0
+
+    def test_adversarial_always_wrong(self):
+        tr = uniform_random_trace(3, 30, horizon=30.0, seed=0)
+        outcomes = evaluate_predictor(tr, AdversarialPredictor(tr), lam=2.0)
+        assert realized_accuracy(outcomes) == 0.0
+
+
+class TestNoisyOracle:
+    def test_accuracy_one_is_oracle(self):
+        tr = uniform_random_trace(3, 40, horizon=40.0, seed=1)
+        outcomes = evaluate_predictor(
+            tr, NoisyOraclePredictor(tr, 1.0, seed=0), lam=2.0
+        )
+        assert realized_accuracy(outcomes) == 1.0
+
+    def test_accuracy_zero_is_adversarial(self):
+        tr = uniform_random_trace(3, 40, horizon=40.0, seed=1)
+        outcomes = evaluate_predictor(
+            tr, NoisyOraclePredictor(tr, 0.0, seed=0), lam=2.0
+        )
+        assert realized_accuracy(outcomes) == 0.0
+
+    def test_intermediate_accuracy_statistical(self):
+        tr = uniform_random_trace(5, 400, horizon=400.0, seed=2)
+        outcomes = evaluate_predictor(
+            tr, NoisyOraclePredictor(tr, 0.8, seed=0), lam=2.0
+        )
+        acc = realized_accuracy(outcomes)
+        assert 0.72 <= acc <= 0.88
+
+    def test_memoised_within_run(self):
+        tr = Trace(2, [(1.0, 1), (5.0, 1)])
+        p = NoisyOraclePredictor(tr, 0.5, seed=3)
+        first = p.predict_within(1, 1.0, 4.0)
+        assert all(p.predict_within(1, 1.0, 4.0) == first for _ in range(5))
+
+    def test_deterministic_given_seed(self):
+        tr = uniform_random_trace(3, 30, horizon=30.0, seed=4)
+        a = [
+            NoisyOraclePredictor(tr, 0.5, seed=9).predict_within(r.server, r.time, 2.0)
+            for r in tr
+        ]
+        b = [
+            NoisyOraclePredictor(tr, 0.5, seed=9).predict_within(r.server, r.time, 2.0)
+            for r in tr
+        ]
+        assert a == b
+
+    def test_invalid_accuracy_rejected(self):
+        tr = Trace(2, [(1.0, 1)])
+        with pytest.raises(ValueError):
+            NoisyOraclePredictor(tr, 1.5)
+        with pytest.raises(ValueError):
+            NoisyOraclePredictor(tr, -0.1)
+
+
+class TestFixedPredictor:
+    def test_constant_output(self):
+        p = FixedPredictor(True)
+        assert p.predict_within(0, 0.0, 1.0)
+        assert p.predict_within(5, 99.0, 0.1)
+        q = FixedPredictor(False)
+        assert not q.predict_within(0, 0.0, 1.0)
+
+    def test_name(self):
+        assert "within" in FixedPredictor(True).name
+        assert "beyond" in FixedPredictor(False).name
+
+
+class TestMispredictionClassification:
+    def test_m_sets_partition_by_gap(self):
+        lam, alpha = 10.0, 0.5
+        # gaps at server 1: 3 (<= alpha lam), 7 (in (alpha lam, lam]), 20 (> lam)
+        tr = Trace(2, [(1.0, 1), (4.0, 1), (11.0, 1), (31.0, 1)])
+        outcomes = evaluate_predictor(tr, AdversarialPredictor(tr), lam)
+        sets_ = classify_mispredictions(tr, outcomes, lam, alpha)
+        assert 2 in sets_.m1   # r_2: gap 3
+        assert 3 in sets_.m2   # r_3: gap 7
+        assert 4 in sets_.m3   # r_4: gap 20
+        assert set(sets_.m1 + sets_.m2 + sets_.m3) <= {1, 2, 3, 4}
+
+    def test_correct_predictions_yield_empty_sets(self):
+        tr = uniform_random_trace(3, 30, horizon=30.0, seed=7)
+        outcomes = evaluate_predictor(tr, OraclePredictor(tr), lam=2.0)
+        sets_ = classify_mispredictions(tr, outcomes, 2.0, 0.5)
+        assert sets_.m1 == sets_.m2 == sets_.m3 == ()
+
+    def test_penalty_bound_formula(self):
+        from repro.predictions import MispredictionSets
+
+        s = MispredictionSets(m1=(1, 2), m2=(3,), m3=(4, 5))
+        assert s.penalty_bound(lam=10.0, alpha=0.5) == pytest.approx(
+            10.0 * 1 + 1.5 * 10.0 * 2
+        )
+
+    def test_empty_outcomes(self):
+        assert np.isnan(realized_accuracy([]))

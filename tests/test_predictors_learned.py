@@ -1,0 +1,167 @@
+"""Tests for the history-based predictors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EwmaPredictor,
+    LastGapPredictor,
+    MarkovChainPredictor,
+    SlidingWindowPredictor,
+)
+from repro.predictions import evaluate_predictor, realized_accuracy
+from repro.workloads import periodic_trace, uniform_random_trace
+
+
+def _feed(predictor, observations):
+    """Feed (server, time) observations in order."""
+    for server, time in observations:
+        predictor.observe(server, time)
+
+
+class TestEwma:
+    def test_default_before_any_gap(self):
+        p = EwmaPredictor(default_within=False)
+        assert not p.predict_within(0, 0.0, 10.0)
+        p2 = EwmaPredictor(default_within=True)
+        assert p2.predict_within(0, 0.0, 10.0)
+
+    def test_single_gap_learned(self):
+        p = EwmaPredictor(decay=1.0)
+        _feed(p, [(0, 0.0), (0, 3.0)])
+        assert p.predict_within(0, 3.0, lam=5.0)
+        assert not p.predict_within(0, 3.0, lam=2.0)
+
+    def test_decay_blends_history(self):
+        p = EwmaPredictor(decay=0.5)
+        _feed(p, [(0, 0.0), (0, 10.0), (0, 12.0)])  # gaps 10, 2 -> ewma 6
+        assert p.predict_within(0, 12.0, lam=6.0)
+        assert not p.predict_within(0, 12.0, lam=5.9)
+
+    def test_per_server_state(self):
+        p = EwmaPredictor(decay=1.0)
+        _feed(p, [(0, 0.0), (1, 1.0), (0, 2.0), (1, 50.0)])
+        assert p.predict_within(0, 2.0, lam=5.0)      # server 0 gap 2
+        assert not p.predict_within(1, 50.0, lam=5.0)  # server 1 gap 49
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(decay=0.0)
+        with pytest.raises(ValueError):
+            EwmaPredictor(decay=1.5)
+
+    def test_learns_periodic_pattern_well(self):
+        # constant per-server gaps: after warm-up EWMA is exact
+        tr = periodic_trace(n=3, period=2.0, cycles=30)
+        p = EwmaPredictor(decay=0.5)
+        outcomes = evaluate_predictor(tr, p, lam=7.0)
+        # per-server gap is 6.0 < 7 -> "within" everywhere once learned
+        assert realized_accuracy(outcomes[6:]) > 0.85
+
+
+class TestLastGap:
+    def test_repeats_last_gap(self):
+        p = LastGapPredictor()
+        _feed(p, [(0, 0.0), (0, 8.0)])
+        assert p.predict_within(0, 8.0, lam=8.0)
+        assert not p.predict_within(0, 8.0, lam=7.9)
+
+    def test_default(self):
+        assert not LastGapPredictor(default_within=False).predict_within(0, 0.0, 1.0)
+
+    def test_updates_on_each_gap(self):
+        p = LastGapPredictor()
+        _feed(p, [(0, 0.0), (0, 1.0), (0, 100.0)])
+        assert not p.predict_within(0, 100.0, lam=50.0)
+
+
+class TestSlidingWindow:
+    def test_majority_vote(self):
+        p = SlidingWindowPredictor(window=3)
+        _feed(p, [(0, 0.0), (0, 1.0), (0, 2.0), (0, 50.0)])  # gaps 1, 1, 48
+        assert p.predict_within(0, 50.0, lam=5.0)  # 2 of 3 within
+
+    def test_window_bounds_memory(self):
+        p = SlidingWindowPredictor(window=2)
+        _feed(p, [(0, 0.0), (0, 1.0), (0, 100.0), (0, 200.0)])  # gaps 1,99,100
+        # only the last two gaps (99, 100) are remembered
+        assert not p.predict_within(0, 200.0, lam=5.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowPredictor(window=0)
+
+    def test_tie_counts_as_within(self):
+        p = SlidingWindowPredictor(window=2)
+        _feed(p, [(0, 0.0), (0, 1.0), (0, 100.0)])  # gaps 1, 99
+        assert p.predict_within(0, 100.0, lam=5.0)  # 1 of 2 -> tie -> within
+
+
+class TestMarkov:
+    def test_default_without_history(self):
+        p = MarkovChainPredictor(default_within=True)
+        assert p.predict_within(0, 0.0, 10.0)
+
+    def test_learns_alternating_pattern(self):
+        # gaps alternate short (2), long (20): after short comes long
+        p = MarkovChainPredictor()
+        times = [0.0]
+        for k in range(40):
+            times.append(times[-1] + (2.0 if k % 2 == 0 else 20.0))
+        lam = 10.0
+        correct = 0
+        total = 0
+        p.observe(0, times[0])
+        p.predict_within(0, times[0], lam)
+        for i in range(1, len(times) - 1):
+            p.observe(0, times[i])
+            pred = p.predict_within(0, times[i], lam)
+            truth = (times[i + 1] - times[i]) <= lam
+            total += 1
+            if i > 10:  # after warm-up
+                correct += int(pred == truth)
+        assert correct / (total - 10) > 0.8
+
+    def test_persistence_prior_on_tie(self):
+        p = MarkovChainPredictor(smoothing=1.0)
+        p.observe(0, 0.0)
+        p.predict_within(0, 0.0, 10.0)
+        p.observe(0, 2.0)  # gap 2 <= 10 -> last outcome "within"
+        assert p.predict_within(0, 2.0, 10.0)  # tie -> repeat last outcome
+
+
+class TestLearnedPredictorsEndToEnd:
+    def test_all_predictors_runnable_with_algorithm1(self):
+        from repro import CostModel, LearningAugmentedReplication, simulate
+
+        tr = uniform_random_trace(4, 50, horizon=100.0, seed=17)
+        model = CostModel(lam=3.0, n=4)
+        for predictor in (
+            EwmaPredictor(),
+            LastGapPredictor(),
+            SlidingWindowPredictor(),
+            MarkovChainPredictor(),
+        ):
+            pol = LearningAugmentedReplication(predictor, 0.5)
+            res = simulate(tr, model, pol)
+            assert res.total_cost > 0
+            res.log.verify_at_least_one_copy()
+
+    def test_learned_beats_adversarial_on_structured_trace(self):
+        from repro import (
+            AdversarialPredictor,
+            CostModel,
+            LearningAugmentedReplication,
+            simulate,
+        )
+
+        tr = periodic_trace(n=3, period=1.0, cycles=60)
+        model = CostModel(lam=4.0, n=3)
+        learned = simulate(
+            tr, model, LearningAugmentedReplication(EwmaPredictor(), 0.2)
+        )
+        adversarial = simulate(
+            tr, model, LearningAugmentedReplication(AdversarialPredictor(tr), 0.2)
+        )
+        assert learned.total_cost <= adversarial.total_cost

@@ -1,0 +1,102 @@
+"""Tests for the randomized ski-rental baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    RandomizedSkiRental,
+    optimal_cost,
+    simulate,
+)
+from repro.algorithms.randomized import sample_ski_rental_duration
+from repro.workloads import robustness_tight_trace, uniform_random_trace
+
+
+class TestSampling:
+    def test_support_is_zero_lambda(self):
+        rng = np.random.default_rng(0)
+        samples = [sample_ski_rental_duration(rng, 10.0) for _ in range(2000)]
+        assert all(0.0 <= s <= 10.0 for s in samples)
+
+    def test_density_shape(self):
+        # f(z) = e^z/(e-1) increases on [0,1]: the upper half must carry
+        # more mass than the lower half (~62% vs 38%)
+        rng = np.random.default_rng(1)
+        samples = np.array(
+            [sample_ski_rental_duration(rng, 1.0) for _ in range(20000)]
+        )
+        upper = float(np.mean(samples > 0.5))
+        assert 0.55 <= upper <= 0.68
+
+    def test_mean_matches_theory(self):
+        # E[z] = integral z e^z/(e-1) dz = 1/(e-1) ~ 0.582
+        rng = np.random.default_rng(2)
+        samples = np.array(
+            [sample_ski_rental_duration(rng, 1.0) for _ in range(30000)]
+        )
+        assert float(samples.mean()) == pytest.approx(1.0 / (np.e - 1.0), abs=0.01)
+
+
+class TestPolicy:
+    def test_reproducible_given_seed(self):
+        tr = uniform_random_trace(3, 40, horizon=60.0, seed=3)
+        model = CostModel(lam=2.0, n=3)
+        a = simulate(tr, model, RandomizedSkiRental(seed=5)).total_cost
+        b = simulate(tr, model, RandomizedSkiRental(seed=5)).total_cost
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        tr = uniform_random_trace(3, 60, horizon=60.0, seed=4)
+        model = CostModel(lam=2.0, n=3)
+        costs = {
+            simulate(tr, model, RandomizedSkiRental(seed=s)).total_cost
+            for s in range(6)
+        }
+        assert len(costs) > 1
+
+    def test_invariant_maintained(self):
+        tr = uniform_random_trace(4, 50, horizon=100.0, seed=5)
+        res = simulate(tr, CostModel(lam=3.0, n=4), RandomizedSkiRental(seed=1))
+        res.log.verify_at_least_one_copy()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            RandomizedSkiRental(scale=0.0)
+
+    def test_beats_deterministic_on_its_adversarial_instance(self):
+        # the Figure 5 instance is tailored to deterministic alpha*lam
+        # durations; randomization dodges the synchronized expiry pattern
+        from repro import FixedPredictor, LearningAugmentedReplication
+
+        lam, alpha = 10.0, 0.5
+        tr = robustness_tight_trace(lam, alpha, m=801, eps=lam * 1e-4)
+        model = CostModel(lam=lam, n=2)
+        det = simulate(
+            tr, model, LearningAugmentedReplication(FixedPredictor(False), alpha)
+        )
+        rnd_costs = [
+            simulate(tr, model, RandomizedSkiRental(seed=s)).total_cost
+            for s in range(5)
+        ]
+        assert float(np.mean(rnd_costs)) < det.total_cost
+
+    def test_expected_ratio_reasonable_on_random_traces(self):
+        rng = np.random.default_rng(6)
+        ratios = []
+        for trial in range(15):
+            tr = uniform_random_trace(3, 30, horizon=50.0, seed=trial)
+            model = CostModel(lam=2.0, n=3)
+            opt = optimal_cost(tr, model)
+            cost = np.mean(
+                [
+                    simulate(tr, model, RandomizedSkiRental(seed=s)).total_cost
+                    for s in range(4)
+                ]
+            )
+            ratios.append(cost / opt)
+        # no formal multi-server guarantee, but it should sit in the same
+        # ballpark as the deterministic 2-competitive baseline
+        assert float(np.mean(ratios)) < 2.5

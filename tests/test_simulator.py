@@ -1,0 +1,343 @@
+"""Unit tests for repro.core.simulator: legality, accounting, invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import CostModel, PolicyError, ReplicationPolicy, Trace, simulate
+from repro.core.events import EventKind
+from repro.core.simulator import SimContext
+
+
+class ScriptedPolicy(ReplicationPolicy):
+    """Serve every request; run a per-request script for extra actions."""
+
+    name = "scripted"
+
+    def __init__(self, script=None, on_init_fn=None, on_expiry_fn=None):
+        self.script = script or {}
+        self.on_init_fn = on_init_fn
+        self.on_expiry_fn = on_expiry_fn
+
+    def reset(self, model):
+        self.model = model
+
+    def on_init(self, ctx):
+        if self.on_init_fn:
+            self.on_init_fn(ctx)
+
+    def on_request(self, ctx, request):
+        fn = self.script.get(request.index)
+        if fn is not None:
+            fn(ctx, request)
+        else:
+            if ctx.has_copy(request.server):
+                ctx.serve_local()
+            else:
+                ctx.serve_via_transfer(min(ctx.holders()))
+                ctx.create_copy(request.server, opening_request=request.index)
+
+    def on_expiry(self, ctx, server, time):
+        if self.on_expiry_fn:
+            self.on_expiry_fn(ctx, server, time)
+
+
+class TestServing:
+    def test_local_serve_free(self):
+        tr = Trace(2, [(1.0, 0)])
+        model = CostModel(lam=10.0, n=2)
+        res = simulate(tr, model, ScriptedPolicy())
+        assert res.transfer_cost == 0.0
+        assert res.serves[0].local
+
+    def test_transfer_serve_charges_lambda(self):
+        tr = Trace(2, [(1.0, 1)])
+        model = CostModel(lam=10.0, n=2)
+        res = simulate(tr, model, ScriptedPolicy())
+        assert res.transfer_cost == 10.0
+        assert not res.serves[0].local
+        assert res.serves[0].source == 0
+
+    def test_unserved_request_raises(self):
+        def noop(ctx, request):
+            pass
+
+        tr = Trace(2, [(1.0, 1)])
+        with pytest.raises(PolicyError, match="failed to serve"):
+            simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: noop}))
+
+    def test_double_serve_rejected(self):
+        def double(ctx, request):
+            ctx.serve_via_transfer(0)
+            ctx.serve_via_transfer(0)
+
+        tr = Trace(2, [(1.0, 1)])
+        with pytest.raises(PolicyError, match="already served"):
+            simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: double}))
+
+    def test_serve_local_without_copy_rejected(self):
+        def bad(ctx, request):
+            ctx.serve_local()
+
+        tr = Trace(2, [(1.0, 1)])
+        with pytest.raises(PolicyError, match="has no copy"):
+            simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: bad}))
+
+    def test_transfer_to_holder_rejected(self):
+        def bad(ctx, request):
+            ctx.serve_via_transfer(1)
+
+        tr = Trace(2, [(1.0, 0)])
+        with pytest.raises(PolicyError, match="must serve locally"):
+            simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: bad}))
+
+    def test_transfer_from_empty_source_rejected(self):
+        def bad(ctx, request):
+            ctx.serve_via_transfer(1)  # server 1 has no copy
+
+        tr = Trace(3, [(1.0, 2)])
+        with pytest.raises(PolicyError, match="source 1 has no copy"):
+            simulate(tr, CostModel(lam=1.0, n=3), ScriptedPolicy({1: bad}))
+
+
+class TestCopyManagement:
+    def test_double_create_rejected(self):
+        def bad(ctx, request):
+            ctx.serve_local()
+            ctx.create_copy(0)
+
+        tr = Trace(2, [(1.0, 0)])
+        with pytest.raises(PolicyError, match="already holds"):
+            simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: bad}))
+
+    def test_drop_last_copy_rejected(self):
+        def bad(ctx, request):
+            ctx.serve_local()
+            ctx.drop_copy(0)
+
+        tr = Trace(2, [(1.0, 0)])
+        with pytest.raises(PolicyError, match="at-least-one-copy"):
+            simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: bad}))
+
+    def test_drop_missing_copy_rejected(self):
+        def bad(ctx, request):
+            ctx.serve_local()
+            ctx.drop_copy(1)
+
+        tr = Trace(2, [(1.0, 0)])
+        with pytest.raises(PolicyError, match="has no copy"):
+            simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: bad}))
+
+    def test_standalone_transfer_copy(self):
+        def act(ctx, request):
+            ctx.serve_local()
+            ctx.transfer_copy(0, 1)
+
+        tr = Trace(2, [(1.0, 0)])
+        res = simulate(tr, CostModel(lam=7.0, n=2), ScriptedPolicy({1: act}))
+        assert res.transfer_cost == 7.0
+        assert res.ledger.n_transfers == 1
+
+    def test_holders_view(self):
+        seen = {}
+
+        def act(ctx, request):
+            ctx.serve_via_transfer(0)
+            ctx.create_copy(1, opening_request=request.index)
+            seen["holders"] = ctx.holders()
+            seen["count"] = ctx.copy_count
+
+        tr = Trace(2, [(1.0, 1)])
+        simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: act}))
+        assert seen["holders"] == frozenset({0, 1})
+        assert seen["count"] == 2
+
+
+class TestStorageAccounting:
+    def test_initial_copy_charged_to_final_request(self):
+        tr = Trace(2, [(5.0, 0)])
+        res = simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy())
+        # copy at server 0 from t=0 to t_m=5
+        assert res.storage_cost == pytest.approx(5.0)
+
+    def test_two_copies_integrate(self):
+        tr = Trace(2, [(2.0, 1), (6.0, 0)])
+        res = simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy())
+        # server 0: (0,6) = 6; server 1: (2,6) = 4
+        assert res.storage_cost == pytest.approx(10.0)
+
+    def test_drop_stops_accrual(self):
+        def act(ctx, request):
+            ctx.serve_via_transfer(0)
+            ctx.create_copy(1, opening_request=request.index)
+            ctx.drop_copy(0)
+
+        tr = Trace(2, [(2.0, 1), (10.0, 1)])
+        res = simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy({1: act}))
+        # server 0: (0,2) = 2; server 1: (2,10) = 8
+        assert res.storage_cost == pytest.approx(10.0)
+
+    def test_storage_clipped_to_final_request(self):
+        # expiry scheduled past t_m must not charge beyond t_m
+        def init(ctx):
+            ctx.schedule_expiry(0, 100.0)
+
+        tr = Trace(2, [(3.0, 0)])
+        res = simulate(
+            tr, CostModel(lam=1.0, n=2), ScriptedPolicy(on_init_fn=init)
+        )
+        assert res.storage_cost == pytest.approx(3.0)
+
+    def test_per_server_rates_respected(self):
+        tr = Trace(2, [(2.0, 1), (4.0, 1)])
+        model = CostModel(lam=1.0, n=2, storage_rates=(1.0, 3.0))
+        res = simulate(tr, model, ScriptedPolicy())
+        # server 0: 4 time units at rate 1; server 1: 2 units at rate 3
+        assert res.storage_cost == pytest.approx(4.0 + 6.0)
+
+    def test_total_is_storage_plus_transfer(self):
+        tr = Trace(2, [(2.0, 1)])
+        res = simulate(tr, CostModel(lam=5.0, n=2), ScriptedPolicy())
+        assert res.total_cost == pytest.approx(res.storage_cost + res.transfer_cost)
+
+
+class TestExpiryScheduling:
+    def test_expiry_fires_between_requests(self):
+        fired = []
+
+        def init(ctx):
+            ctx.schedule_expiry(0, 2.0)
+
+        def on_exp(ctx, server, time):
+            fired.append((server, time))
+            if ctx.copy_count > 1:
+                ctx.drop_copy(server)
+
+        tr = Trace(2, [(1.0, 1), (5.0, 1)])
+        simulate(
+            tr,
+            CostModel(lam=1.0, n=2),
+            ScriptedPolicy(on_init_fn=init, on_expiry_fn=on_exp),
+        )
+        assert fired == [(0, 2.0)]
+
+    def test_expiry_at_request_time_fires_after_request(self):
+        order = []
+
+        def init(ctx):
+            ctx.schedule_expiry(0, 1.0)
+
+        def act(ctx, request):
+            order.append("request")
+            # the copy must still be present: expiry at t fires after
+            assert ctx.has_copy(0)
+            ctx.serve_local()
+
+        def on_exp(ctx, server, time):
+            order.append("expiry")
+
+        tr = Trace(1, [(1.0, 0)])
+        simulate(
+            tr,
+            CostModel(lam=1.0, n=1),
+            ScriptedPolicy({1: act}, on_init_fn=init, on_expiry_fn=on_exp),
+        )
+        assert order == ["request", "expiry"]
+
+    def test_reschedule_replaces(self):
+        fired = []
+
+        def init(ctx):
+            ctx.schedule_expiry(0, 2.0)
+            ctx.schedule_expiry(0, 3.0)  # replaces the 2.0 entry
+
+        def on_exp(ctx, server, time):
+            fired.append(time)
+
+        tr = Trace(1, [(5.0, 0)])
+        simulate(
+            tr,
+            CostModel(lam=1.0, n=1),
+            ScriptedPolicy(on_init_fn=init, on_expiry_fn=on_exp),
+        )
+        assert fired == [3.0]
+
+    def test_cancel_expiry(self):
+        fired = []
+
+        def init(ctx):
+            ctx.schedule_expiry(0, 2.0)
+            ctx.cancel_expiry(0)
+
+        tr = Trace(1, [(5.0, 0)])
+        simulate(
+            tr,
+            CostModel(lam=1.0, n=1),
+            ScriptedPolicy(
+                on_init_fn=init, on_expiry_fn=lambda c, s, t: fired.append(t)
+            ),
+        )
+        assert fired == []
+
+    def test_past_expiry_rejected(self):
+        def act(ctx, request):
+            ctx.serve_local()
+            ctx.schedule_expiry(0, request.time - 1.0)
+
+        tr = Trace(1, [(5.0, 0)])
+        with pytest.raises(PolicyError, match="past"):
+            simulate(tr, CostModel(lam=1.0, n=1), ScriptedPolicy({1: act}))
+
+    def test_drop_cancels_pending_expiry(self):
+        fired = []
+
+        def act(ctx, request):
+            ctx.serve_via_transfer(0)
+            ctx.create_copy(1, opening_request=request.index)
+            ctx.schedule_expiry(0, 3.0)
+            ctx.drop_copy(0)  # must cancel the expiry at 3.0
+
+        tr = Trace(2, [(2.0, 1), (9.0, 1)])
+        simulate(
+            tr,
+            CostModel(lam=1.0, n=2),
+            ScriptedPolicy({1: act}, on_expiry_fn=lambda c, s, t: fired.append(t)),
+        )
+        assert fired == []
+
+
+class TestEventLogAndResult:
+    def test_event_log_records_requests(self):
+        tr = Trace(2, [(1.0, 1), (2.0, 0)])
+        res = simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy())
+        reqs = res.log.of_kind(EventKind.REQUEST)
+        assert [e.request_index for e in reqs] == [1, 2]
+
+    def test_copy_count_never_zero(self):
+        tr = Trace(3, [(1.0, 1), (2.0, 2), (3.0, 0)])
+        res = simulate(tr, CostModel(lam=1.0, n=3), ScriptedPolicy())
+        res.log.verify_at_least_one_copy()
+
+    def test_serve_of_lookup(self):
+        tr = Trace(2, [(1.0, 1), (2.0, 1)])
+        res = simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy())
+        assert res.serve_of(1).request.index == 1
+        assert res.serve_of(2).local
+
+    def test_model_trace_mismatch(self):
+        tr = Trace(2, [(1.0, 1)])
+        with pytest.raises(ValueError, match="model.n"):
+            simulate(tr, CostModel(lam=1.0, n=3), ScriptedPolicy())
+
+    def test_copy_records_cover_lifetimes(self):
+        tr = Trace(2, [(2.0, 1), (6.0, 0)])
+        res = simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy())
+        starts = sorted(r.start for r in res.copy_records)
+        assert starts == [0.0, 2.0]
+
+    def test_empty_trace(self):
+        tr = Trace(2, [])
+        res = simulate(tr, CostModel(lam=1.0, n=2), ScriptedPolicy())
+        assert res.total_cost == 0.0

@@ -1,0 +1,171 @@
+"""Tests for repro.analysis.theory, competitive helpers, and the
+misprediction bound (equation 11)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    LearningAugmentedReplication,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    optimal_cost,
+    simulate,
+)
+from repro.analysis import analyze_run, competitive_ratio
+from repro.analysis.theory import (
+    adaptive_robustness_bound,
+    consistency_bound,
+    conventional_competitive_ratio,
+    deterministic_consistency_lower_bound,
+    misprediction_penalty_bound,
+    robustness_bound,
+    wang_claimed_ratio,
+    wang_true_ratio_lower_bound,
+)
+from repro.offline import opt_lower_bound
+from repro.predictions import classify_mispredictions, evaluate_predictor
+from repro.workloads import uniform_random_trace
+
+
+class TestTheoryFormulas:
+    def test_consistency_values(self):
+        assert consistency_bound(1.0) == pytest.approx(2.0)
+        assert consistency_bound(0.0) == pytest.approx(5.0 / 3.0)
+        assert consistency_bound(0.5) == pytest.approx(5.5 / 3.0)
+
+    def test_robustness_values(self):
+        assert robustness_bound(1.0) == pytest.approx(2.0)
+        assert robustness_bound(0.5) == pytest.approx(3.0)
+        assert math.isinf(robustness_bound(0.0))
+
+    def test_bounds_meet_at_alpha_one(self):
+        assert consistency_bound(1.0) == robustness_bound(1.0) == 2.0
+
+    def test_consistency_always_below_robustness(self):
+        for alpha in np.linspace(0.01, 1.0, 25):
+            assert consistency_bound(alpha) <= robustness_bound(alpha) + 1e-12
+
+    def test_consistency_above_lower_bound(self):
+        # (5 + alpha)/3 >= 3/2 for all alpha >= 0 (paper's Section 9 gap)
+        for alpha in np.linspace(0.0, 1.0, 11):
+            assert consistency_bound(alpha) >= deterministic_consistency_lower_bound()
+
+    def test_adaptive_bound(self):
+        assert adaptive_robustness_bound(0.0) == 2.0
+        assert adaptive_robustness_bound(1.0) == 3.0
+        with pytest.raises(ValueError):
+            adaptive_robustness_bound(-0.5)
+
+    def test_misc_constants(self):
+        assert conventional_competitive_ratio() == 2.0
+        assert wang_claimed_ratio() == 2.0
+        assert wang_true_ratio_lower_bound() == 2.5
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            consistency_bound(1.5)
+        with pytest.raises(ValueError):
+            robustness_bound(-0.1)
+
+    def test_misprediction_bound_formula(self):
+        assert misprediction_penalty_bound(3, 2, lam=10.0, alpha=0.5) == (
+            pytest.approx(3 * 10.0 + 2 * 1.5 * 10.0)
+        )
+        with pytest.raises(ValueError):
+            misprediction_penalty_bound(-1, 0, 1.0, 0.5)
+
+
+class TestCompetitiveRatio:
+    def test_basic(self):
+        assert competitive_ratio(10.0, 5.0) == 2.0
+
+    def test_zero_optimal(self):
+        assert competitive_ratio(0.0, 0.0) == 1.0
+        assert math.isinf(competitive_ratio(1.0, 0.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            competitive_ratio(-1.0, 1.0)
+
+
+class TestAnalyzeRun:
+    def test_fields_consistent(self):
+        tr = uniform_random_trace(3, 30, horizon=60.0, seed=2)
+        model = CostModel(lam=2.0, n=3)
+        pol = LearningAugmentedReplication(OraclePredictor(tr), 0.4)
+        ana = analyze_run(tr, model, pol)
+        assert ana.ratio == pytest.approx(ana.online_cost / ana.optimal_cost)
+        assert sum(ana.type_counts.values()) == len(tr)
+        assert ana.optimal_cost == pytest.approx(optimal_cost(tr, model))
+
+    def test_str_renders(self):
+        tr = uniform_random_trace(2, 10, horizon=20.0, seed=3)
+        pol = LearningAugmentedReplication(OraclePredictor(tr), 0.4)
+        ana = analyze_run(tr, CostModel(lam=2.0, n=2), pol)
+        assert "ratio" in str(ana)
+
+
+class TestMispredictionBoundEq11:
+    """Equation (11): the online-cost increase due to mispredictions is at
+    most ``lam |M2| + (2 - alpha) lam |M3|``, normalised by OPT_L."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_online_increase_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            n = int(rng.integers(1, 5))
+            m = int(rng.integers(2, 40))
+            lam = float(rng.uniform(0.5, 6.0))
+            alpha = float(rng.uniform(0.1, 1.0))
+            acc = float(rng.uniform(0.0, 1.0))
+            tr = uniform_random_trace(
+                n, m, horizon=float(rng.uniform(5, 80)), seed=int(rng.integers(2**31))
+            )
+            model = CostModel(lam=lam, n=n)
+
+            perfect = simulate(
+                tr, model, LearningAugmentedReplication(OraclePredictor(tr), alpha)
+            )
+            noisy_pred = NoisyOraclePredictor(tr, acc, seed=seed)
+            noisy = simulate(
+                tr, model, LearningAugmentedReplication(noisy_pred, alpha)
+            )
+            # classify exactly the predictions the noisy run consumed
+            outcomes = evaluate_predictor(
+                tr, NoisyOraclePredictor(tr, acc, seed=seed), lam
+            )
+            sets_ = classify_mispredictions(tr, outcomes, lam, alpha)
+            bound = misprediction_penalty_bound(
+                len(sets_.m2), len(sets_.m3), lam, alpha
+            )
+            assert noisy.total_cost <= perfect.total_cost + bound + 1e-7
+
+    def test_ratio_increase_bounded_by_eq11(self):
+        rng = np.random.default_rng(44)
+        for _ in range(15):
+            n = int(rng.integers(2, 5))
+            m = int(rng.integers(5, 40))
+            lam = float(rng.uniform(0.5, 4.0))
+            alpha = float(rng.uniform(0.2, 1.0))
+            tr = uniform_random_trace(n, m, 60.0, seed=int(rng.integers(2**31)))
+            model = CostModel(lam=lam, n=n)
+            noisy_pred = NoisyOraclePredictor(tr, 0.5, seed=1)
+            noisy = simulate(tr, model, LearningAugmentedReplication(noisy_pred, alpha))
+            opt = optimal_cost(tr, model)
+            outcomes = evaluate_predictor(
+                tr, NoisyOraclePredictor(tr, 0.5, seed=1), lam
+            )
+            sets_ = classify_mispredictions(tr, outcomes, lam, alpha)
+            bound = misprediction_penalty_bound(
+                len(sets_.m2), len(sets_.m3), lam, alpha
+            )
+            lower = opt_lower_bound(tr, model)
+            # eq (11): ratio <= consistency + bound / OPT_L
+            assert noisy.total_cost / opt <= consistency_bound(
+                alpha
+            ) + bound / lower + 1e-7

@@ -1,0 +1,96 @@
+"""Tests for the post-hoc result validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AlwaysHold,
+    BlindFollowPredictions,
+    ConventionalReplication,
+    CostModel,
+    FixedPredictor,
+    LearningAugmentedReplication,
+    NeverHold,
+    NoisyOraclePredictor,
+    RandomizedSkiRental,
+    WangReplication,
+    simulate,
+)
+from repro.core.validate import validate_result
+from repro.workloads import uniform_random_trace
+
+
+class TestValidRunsPass:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_algorithm1_validates(self, seed):
+        tr = uniform_random_trace(4, 40, horizon=60.0, seed=seed)
+        model = CostModel(lam=2.0, n=4)
+        pol = LearningAugmentedReplication(
+            NoisyOraclePredictor(tr, 0.5, seed=seed), 0.4
+        )
+        report = validate_result(simulate(tr, model, pol))
+        assert report.ok, report.violations
+        assert report.checks_run >= 6
+
+    def test_every_shipped_policy_validates(self):
+        tr = uniform_random_trace(3, 30, horizon=50.0, seed=2)
+        model = CostModel(lam=3.0, n=3)
+        policies = [
+            ConventionalReplication(),
+            WangReplication(),
+            AlwaysHold(),
+            NeverHold(),
+            BlindFollowPredictions(FixedPredictor(False)),
+            RandomizedSkiRental(seed=1),
+            LearningAugmentedReplication(FixedPredictor(True), 0.7),
+        ]
+        for pol in policies:
+            report = validate_result(simulate(tr, model, pol))
+            assert report.ok, (pol.name, report.violations)
+
+    def test_empty_trace_validates(self):
+        from repro import Trace
+
+        res = simulate(Trace(2, []), CostModel(lam=1.0, n=2), NeverHold())
+        assert validate_result(res).ok
+
+    def test_raise_if_invalid_noop_when_ok(self):
+        tr = uniform_random_trace(2, 10, horizon=20.0, seed=3)
+        res = simulate(tr, CostModel(lam=1.0, n=2), ConventionalReplication())
+        validate_result(res).raise_if_invalid()
+
+
+class TestCorruptedRunsFail:
+    def _good_run(self):
+        tr = uniform_random_trace(3, 20, horizon=30.0, seed=4)
+        model = CostModel(lam=2.0, n=3)
+        return simulate(tr, model, ConventionalReplication())
+
+    def test_detects_storage_corruption(self):
+        res = self._good_run()
+        res.ledger.storage += 100.0
+        report = validate_result(res)
+        assert not report.ok
+        assert any("storage" in v for v in report.violations)
+
+    def test_detects_transfer_corruption(self):
+        res = self._good_run()
+        res.ledger.n_transfers += 1
+        report = validate_result(res)
+        assert not report.ok
+        assert any("transfer" in v for v in report.violations)
+
+    def test_detects_missing_serve(self):
+        res = self._good_run()
+        res.serves.pop()
+        report = validate_result(res)
+        assert not report.ok
+        assert any("serve order" in v for v in report.violations)
+
+    def test_raise_if_invalid_raises(self):
+        res = self._good_run()
+        res.ledger.storage += 1.0
+        with pytest.raises(AssertionError, match="invalid simulation"):
+            validate_result(res).raise_if_invalid()

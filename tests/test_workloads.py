@@ -1,0 +1,162 @@
+"""Tests for the synthetic and IBM-like workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    IBM_TRACE_REQUESTS,
+    IBM_TRACE_SPAN,
+    assign_servers_zipf,
+    bursty_trace,
+    ibm_like_arrivals,
+    ibm_like_trace,
+    periodic_trace,
+    poisson_trace,
+    uniform_random_trace,
+    zipf_server_probabilities,
+)
+
+
+class TestZipf:
+    def test_probabilities_normalized(self):
+        p = zipf_server_probabilities(10)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_paper_formula(self):
+        # p_i = i^-1 / sum_j j^-1
+        p = zipf_server_probabilities(10)
+        h = sum(1.0 / j for j in range(1, 11))
+        assert p[0] == pytest.approx(1.0 / h)
+        assert p[4] == pytest.approx(1.0 / 5.0 / h)
+
+    def test_monotone_decreasing(self):
+        p = zipf_server_probabilities(10)
+        assert all(p[i] >= p[i + 1] for i in range(9))
+
+    def test_exponent_zero_uniform(self):
+        p = zipf_server_probabilities(5, exponent=0.0)
+        assert np.allclose(p, 0.2)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_server_probabilities(0)
+
+    def test_assignment_skews_to_low_indices(self):
+        times = np.arange(1.0, 4001.0)
+        tr = assign_servers_zipf(times, n=10, seed=0)
+        counts = np.bincount(tr.servers, minlength=10)
+        assert counts[0] > counts[9] * 2
+
+
+class TestPoisson:
+    def test_count_near_expectation(self):
+        tr = poisson_trace(n=5, rate=0.5, horizon=1000.0, seed=0)
+        assert 400 <= len(tr) <= 600
+
+    def test_deterministic_given_seed(self):
+        a = poisson_trace(n=3, rate=0.1, horizon=100.0, seed=5)
+        b = poisson_trace(n=3, rate=0.1, horizon=100.0, seed=5)
+        assert np.allclose(a.times, b.times)
+        assert list(a.servers) == list(b.servers)
+
+    def test_uniform_assignment_option(self):
+        tr = poisson_trace(n=4, rate=1.0, horizon=500.0, seed=1, zipf_exponent=None)
+        counts = np.bincount(tr.servers, minlength=4)
+        assert counts.min() > 0.15 * len(tr)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_trace(n=2, rate=0.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            poisson_trace(n=2, rate=1.0, horizon=0.0)
+
+
+class TestBursty:
+    def test_structure(self):
+        tr = bursty_trace(
+            n=3, n_bursts=5, burst_size=4, burst_spread=1.0, quiet_gap=50.0, seed=2
+        )
+        assert len(tr) == 20
+
+    def test_bursts_are_single_server(self):
+        tr = bursty_trace(
+            n=4, n_bursts=3, burst_size=5, burst_spread=0.5, quiet_gap=100.0, seed=3
+        )
+        # within each burst window all requests hit one server
+        times = tr.times
+        servers = tr.servers
+        splits = np.where(np.diff(times) > 10.0)[0]
+        start = 0
+        for s in list(splits) + [len(times) - 1]:
+            burst_servers = set(servers[start : s + 1].tolist())
+            assert len(burst_servers) == 1
+            start = s + 1
+
+
+class TestPeriodic:
+    def test_deterministic_without_jitter(self):
+        tr = periodic_trace(n=2, period=3.0, cycles=2)
+        assert list(tr.times) == [3.0, 6.0, 9.0, 12.0]
+        assert list(tr.servers) == [0, 1, 0, 1]
+
+    def test_jitter_preserves_validity(self):
+        tr = periodic_trace(n=3, period=5.0, cycles=10, jitter=1.0, seed=4)
+        assert len(tr) == 30  # validated construction implies sorted/distinct
+
+
+class TestUniformRandom:
+    def test_shape(self):
+        tr = uniform_random_trace(3, 25, horizon=50.0, seed=0)
+        assert len(tr) == 25
+        assert tr.n == 3
+        assert tr.span <= 50.0
+
+    def test_strictly_increasing(self):
+        tr = uniform_random_trace(2, 100, horizon=1.0, seed=1)
+        assert np.all(np.diff(tr.times) > 0)
+
+
+class TestIbmLike:
+    def test_defaults_match_paper_statistics(self):
+        t = ibm_like_arrivals(seed=0)
+        assert len(t) == IBM_TRACE_REQUESTS
+        assert t[-1] == pytest.approx(IBM_TRACE_SPAN)
+
+    def test_strictly_increasing(self):
+        t = ibm_like_arrivals(m=2000, seed=1)
+        assert np.all(np.diff(t) > 0)
+
+    def test_trace_mean_gap_near_500s(self):
+        # the paper: ~11688 requests over 7 days across 10 servers gives
+        # a mean per-server inter-request time of about 500 seconds
+        tr = ibm_like_trace(seed=0)
+        gaps = [g for g in tr.inter_request_gaps() if np.isfinite(g)]
+        assert 300.0 <= float(np.mean(gaps)) <= 800.0
+
+    def test_gap_distribution_split_by_paper_lambdas(self):
+        # every lambda in the paper's sweep must split the gap
+        # distribution non-trivially except the extreme ends
+        tr = ibm_like_trace(seed=0)
+        gaps = np.array([g for g in tr.inter_request_gaps() if np.isfinite(g)])
+        frac_10 = float(np.mean(gaps <= 10.0))
+        frac_1000 = float(np.mean(gaps <= 1000.0))
+        assert 0.05 <= frac_10 <= 0.5      # lam=10: most gaps far above
+        assert 0.6 <= frac_1000 <= 0.98    # lam=1000: most gaps below
+
+    def test_deterministic(self):
+        a = ibm_like_trace(m=500, seed=3)
+        b = ibm_like_trace(m=500, seed=3)
+        assert np.allclose(a.times, b.times)
+        assert list(a.servers) == list(b.servers)
+
+    def test_small_m_guard(self):
+        with pytest.raises(ValueError):
+            ibm_like_arrivals(m=1)
+
+    def test_custom_sizes(self):
+        tr = ibm_like_trace(n=4, m=300, span=10_000.0, seed=2)
+        assert tr.n == 4
+        assert len(tr) == 300
+        assert tr.span == pytest.approx(10_000.0)
