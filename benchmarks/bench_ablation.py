@@ -14,45 +14,39 @@
 
 from __future__ import annotations
 
+import tempfile
+
 import pytest
 
 from repro import (
     AdaptiveReplication,
     BlindFollowPredictions,
     CostModel,
-    EwmaPredictor,
     FixedPredictor,
     LearningAugmentedReplication,
-    MarkovChainPredictor,
-    NoisyOraclePredictor,
     OraclePredictor,
     SlidingWindowPredictor,
     optimal_cost,
     simulate,
 )
+from repro.experiments import ExperimentRunner, ResultCache
 from repro.workloads import bursty_trace, robustness_tight_trace
 
-from conftest import emit
+from conftest import WORKERS, emit
 
 
 def test_ablation_alpha_tradeoff(benchmark, paper_trace):
     model = CostModel(lam=1000.0, n=paper_trace.n)
-    opt = optimal_cost(paper_trace, model)
+    sweep = ExperimentRunner(workers=WORKERS).run(
+        "ablation-alpha"
+    ).sweep_result()
     lines = [
         "alpha ablation (lambda=1000): consistency/robustness dial",
         f"{'alpha':>6} {'acc=100%':>9} {'acc=50%':>8} {'acc=0%':>7}",
     ]
     grid = {}
     for alpha in (0.05, 0.2, 0.5, 1.0):
-        row = []
-        for acc in (1.0, 0.5, 0.0):
-            pred = (
-                OraclePredictor(paper_trace)
-                if acc == 1.0
-                else NoisyOraclePredictor(paper_trace, acc, seed=4)
-            )
-            pol = LearningAugmentedReplication(pred, alpha)
-            row.append(simulate(paper_trace, model, pol).total_cost / opt)
+        row = [sweep.at(1000.0, alpha, acc).ratio for acc in (1.0, 0.5, 0.0)]
         grid[alpha] = row
         lines.append(
             f"{alpha:>6.2f} {row[0]:>9.3f} {row[1]:>8.3f} {row[2]:>7.3f}"
@@ -127,21 +121,19 @@ def test_ablation_predictor_choice(benchmark):
     )
     lam = 300.0
     model = CostModel(lam=lam, n=8)
-    opt = optimal_cost(tr, model)
     lines = [
         "predictor ablation on bursty workload (alpha=0.25)",
         f"{'predictor':<22} {'ratio':>7}",
     ]
+    # one session-local cache so the five scenarios (same trace, same
+    # lambda) share a single offline-optimum computation
+    runner = ExperimentRunner(
+        workers=WORKERS, cache=ResultCache(tempfile.mkdtemp(prefix="repro-bench-"))
+    )
     results = {}
-    for name, predictor in (
-        ("oracle", OraclePredictor(tr)),
-        ("sliding-window", SlidingWindowPredictor(window=5)),
-        ("markov", MarkovChainPredictor()),
-        ("ewma", EwmaPredictor(decay=0.4)),
-        ("always-wrong", NoisyOraclePredictor(tr, 0.0, seed=1)),
-    ):
-        pol = LearningAugmentedReplication(predictor, 0.25)
-        r = simulate(tr, model, pol).total_cost / opt
+    for name in ("oracle", "sliding-window", "markov", "ewma", "always-wrong"):
+        outcome = runner.run(f"ablation-predictor-{name}")
+        r = outcome.results[0].ratio
         results[name] = r
         lines.append(f"{name:<22} {r:>7.3f}")
     assert results["oracle"] <= results["always-wrong"]

@@ -21,20 +21,39 @@ import numpy as np
 import pytest
 
 from repro import CostModel, LearningAugmentedReplication, OraclePredictor, simulate
-from repro.analysis.sweep import format_table, sweep_grid
+from repro.analysis.sweep import format_table
 from repro.analysis.theory import consistency_bound, robustness_bound
+from repro.experiments import ExperimentRunner, get_scenario, trace_digest
 
-from conftest import ACCURACIES, ALPHAS, emit
+from conftest import ACCURACIES, ALPHAS, WORKERS, emit
 
 _GRIDS: dict[float, object] = {}
-_OPT_CACHE: dict[float, float] = {}
+_TRACE_CHECKED = False
+_FIGURE_SCENARIO = {10.0: "fig25", 100.0: "fig26", 1000.0: "fig27", 10000.0: "fig28"}
 
 
 def _grid(trace, lam):
+    """The figure's grid via the experiment registry, at bench scale.
+
+    The registered scenarios build their own trace; the one-time digest
+    check keeps it in lockstep with the ``paper_trace`` fixture the
+    timed units use (all four figures share one trace factory).
+    """
+    global _TRACE_CHECKED
     if lam not in _GRIDS:
-        _GRIDS[lam] = sweep_grid(
-            trace, (lam,), ALPHAS, ACCURACIES, seed=0, optimal_cache=_OPT_CACHE
+        scenario = get_scenario(_FIGURE_SCENARIO[lam]).with_grid(
+            alphas=ALPHAS, accuracies=ACCURACIES
         )
+        if not _TRACE_CHECKED:
+            scenario_trace = scenario.build_trace(
+                lam=lam, alpha=ALPHAS[0], accuracy=ACCURACIES[0], seed=0
+            )
+            assert trace_digest(scenario_trace) == trace_digest(trace), (
+                "registry scenario workload diverged from the bench fixture"
+            )
+            _TRACE_CHECKED = True
+        runner = ExperimentRunner(workers=WORKERS)
+        _GRIDS[lam] = runner.run(scenario).sweep_result()
     return _GRIDS[lam]
 
 

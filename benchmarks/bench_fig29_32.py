@@ -5,6 +5,11 @@ Grid: lambda in {1000, 10000} x beta in {0.1, 1}, following Appendix J
 are covered by Figures 25-26).  Following the paper, the first 100
 requests run the original Algorithm 1 as warm-up.
 
+Both grids resolve through the experiment registry (``fig29`` ..
+``fig32`` for the adapted algorithm, ``fig27`` / ``fig28`` for the plain
+baseline at the same lambda) and run through the parallel
+:class:`ExperimentRunner`, scaled down to the bench axes.
+
 Asserted shape: the adapted algorithm's ratio never exceeds the target
 ``2 + beta`` by more than the warm-up contribution, and wherever plain
 Algorithm 1 already respected the target the two coincide closely.
@@ -14,28 +19,34 @@ from __future__ import annotations
 
 import pytest
 
-from repro import (
-    AdaptiveReplication,
-    CostModel,
-    LearningAugmentedReplication,
-    NoisyOraclePredictor,
-    OraclePredictor,
-    optimal_cost,
-    simulate,
-)
+from repro import AdaptiveReplication, CostModel, NoisyOraclePredictor, \
+    OraclePredictor, simulate
 from repro.analysis.theory import adaptive_robustness_bound
+from repro.experiments import ExperimentRunner, get_scenario
 
-from conftest import emit
+from conftest import WORKERS, emit
 
 ALPHAS = (0.0, 0.2, 0.5, 1.0)
 ACCURACIES = (0.0, 0.5, 1.0)
-_OPT: dict[float, float] = {}
+_GRIDS: dict[str, object] = {}
+_PLAIN_SCENARIO = {1000.0: "fig27", 10000.0: "fig28"}
 
 
 def _predictor(trace, acc, seed=0):
     if acc >= 1.0:
         return OraclePredictor(trace)
     return NoisyOraclePredictor(trace, acc, seed=seed)
+
+
+def _grid(name):
+    if name not in _GRIDS:
+        scenario = get_scenario(name).with_grid(
+            alphas=ALPHAS, accuracies=ACCURACIES
+        )
+        _GRIDS[name] = ExperimentRunner(workers=WORKERS).run(
+            scenario
+        ).sweep_result()
+    return _GRIDS[name]
 
 
 @pytest.mark.parametrize(
@@ -48,35 +59,28 @@ def _predictor(trace, acc, seed=0):
     ],
 )
 def test_fig29_32_adaptive(benchmark, paper_trace, figure, lam, beta):
-    model = CostModel(lam=lam, n=paper_trace.n)
-    if lam not in _OPT:
-        _OPT[lam] = optimal_cost(paper_trace, model)
-    opt = _OPT[lam]
+    adaptive_name = {
+        (1000.0, 0.1): "fig29",
+        (10000.0, 0.1): "fig30",
+        (1000.0, 1.0): "fig31",
+        (10000.0, 1.0): "fig32",
+    }[(lam, beta)]
+    plain_grid = _grid(_PLAIN_SCENARIO[lam])
+    adaptive_grid = _grid(adaptive_name)
     target = adaptive_robustness_bound(beta)
 
     lines = [
         f"{figure}: lambda = {lam:g}, beta = {beta:g}, target ratio <= {target:g}",
-        f"{'alpha':>6} {'acc':>5} {'plain':>8} {'adaptive':>9} {'forced%':>8}",
+        f"{'alpha':>6} {'acc':>5} {'plain':>8} {'adaptive':>9}",
     ]
     worst = 0.0
     for alpha in ALPHAS:
         for acc in ACCURACIES:
-            plain_pol = LearningAugmentedReplication(
-                _predictor(paper_trace, acc), alpha, allow_zero_alpha=True
-            )
-            plain = simulate(paper_trace, model, plain_pol).total_cost / opt
-            ada_alpha = alpha if alpha > 0 else 0.1  # adaptive needs alpha>0
-            ada_pol = AdaptiveReplication(
-                _predictor(paper_trace, acc), ada_alpha, beta=beta, warmup=100
-            )
-            adaptive = simulate(paper_trace, model, ada_pol).total_cost / opt
-            forced = sum(1 for (_, _, f) in ada_pol.monitor_history if f) / len(
-                ada_pol.monitor_history
-            )
+            plain = plain_grid.at(lam, alpha, acc).ratio
+            adaptive = adaptive_grid.at(lam, alpha, acc).ratio
             worst = max(worst, adaptive)
             lines.append(
-                f"{alpha:>6.1f} {acc:>5.0%} {plain:>8.3f} {adaptive:>9.3f} "
-                f"{forced:>8.1%}"
+                f"{alpha:>6.1f} {acc:>5.0%} {plain:>8.3f} {adaptive:>9.3f}"
             )
             # the paper's claim: the adapted algorithm prevents the ratio
             # from growing beyond the target (modulo warm-up prefix)
@@ -85,6 +89,20 @@ def test_fig29_32_adaptive(benchmark, paper_trace, figure, lam, beta):
             if plain <= target:
                 assert adaptive <= max(plain * 1.1, target * 1.05)
     lines.append(f"worst adaptive ratio: {worst:.3f} (target {target:g})")
+    # the registry grid reports costs only; re-run the most adversarial
+    # cell (small alpha, 0% accuracy) directly to keep the monitor's
+    # forced-fallback fraction observable in the emitted results
+    probe = AdaptiveReplication(
+        _predictor(paper_trace, 0.0), 0.2, beta=beta, warmup=100
+    )
+    model = CostModel(lam=lam, n=paper_trace.n)
+    simulate(paper_trace, model, probe)
+    forced = sum(1 for (_, _, f) in probe.monitor_history if f) / max(
+        1, len(probe.monitor_history)
+    )
+    lines.append(
+        f"monitor forced-fallback fraction at (alpha=0.2, acc=0%): {forced:.1%}"
+    )
     emit(figure, "\n".join(lines))
 
     def unit():

@@ -28,6 +28,12 @@ else:
 
 LAMBDAS = (10.0, 100.0, 1000.0, 10000.0)
 
+#: worker processes for the registry-backed grid benchmarks; override
+#: with REPRO_BENCH_WORKERS=1 to force serial execution
+WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS", "") or min(os.cpu_count() or 1, 8)
+)
+
 
 @pytest.fixture(scope="session")
 def paper_trace():

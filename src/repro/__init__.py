@@ -65,6 +65,16 @@ from .offline import (
     optimal_cost,
     optimal_schedule,
 )
+from .experiments import (
+    ArtifactStore,
+    ExperimentResult,
+    ExperimentRunner,
+    ResultCache,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 from .predictions import (
     AdversarialPredictor,
     EwmaPredictor,
@@ -76,8 +86,20 @@ from .predictions import (
     Predictor,
     SlidingWindowPredictor,
 )
+from .system import (
+    FleetReport,
+    MultiObjectSystem,
+    ObjectOutcome,
+    ObjectSpec,
+    load_access_log_csv,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+    split_trace_by_object,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -126,4 +148,24 @@ __all__ = [
     "consistency_bound",
     "robustness_bound",
     "sweep_grid",
+    # system (deployment-facing layer)
+    "MultiObjectSystem",
+    "ObjectSpec",
+    "ObjectOutcome",
+    "FleetReport",
+    "split_trace_by_object",
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    "load_access_log_csv",
+    # experiments (orchestration layer)
+    "ExperimentRunner",
+    "ExperimentResult",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "ResultCache",
+    "ArtifactStore",
 ]

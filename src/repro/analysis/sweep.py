@@ -125,12 +125,28 @@ def sweep_grid(
     factory: PolicyFactory = algorithm1_factory,
     seed: int = 0,
     optimal_cache: dict[float, float] | None = None,
+    runner=None,
 ) -> SweepResult:
     """Run the full (lambda, alpha, accuracy) grid on one trace.
 
     The optimal offline cost depends only on ``lambda`` and is cached
     across the inner grid.
+
+    ``runner`` may be an :class:`repro.experiments.ExperimentRunner`;
+    the grid is then sharded across its worker processes (with on-disk
+    caching if the runner has a cache) and yields bit-identical results
+    to this serial path.  The default preserves serial execution.
     """
+    if runner is not None:
+        return runner.run_grid(
+            trace,
+            lambdas,
+            alphas,
+            accuracies,
+            factory=factory,
+            seed=seed,
+            optimal_cache=optimal_cache,
+        )
     result = SweepResult()
     opt_cache = optimal_cache if optimal_cache is not None else {}
     for lam in lambdas:

@@ -13,17 +13,22 @@ Subcommands
     The Wang et al. counterexample (Figure 9).
 ``adversary``
     The Section 9 lower-bound adversary.
+``experiments``
+    The scenario registry: ``list`` the registered experiment
+    configurations or ``run`` one in parallel with result caching.
 
 Examples::
 
     repro-replication sweep --lambda 1000 --requests 2000
     repro-replication tight --alpha 0.5
     repro-replication wang --m 500
+    repro-replication experiments run fig25 --workers 8
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -93,6 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--alpha", type=float, default=0.5)
     v.add_argument("--lambda", dest="lam", type=float, default=100.0)
     v.add_argument("--requests", type=int, default=500)
+
+    e = sub.add_parser("experiments", help="scenario registry: list / run")
+    esub = e.add_subparsers(dest="exp_command", required=True)
+    el = esub.add_parser("list", help="registered experiment scenarios")
+    el.add_argument("--tag", default=None, help="filter by tag")
+    er = esub.add_parser("run", help="run scenarios in parallel with caching")
+    er.add_argument("names", nargs="+", metavar="name",
+                    help="registered scenario name(s); see 'experiments list'")
+    er.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: CPU count; 1 = serial)")
+    er.add_argument("--cache-dir", default=None,
+                    help="result cache directory (default: "
+                    "$REPRO_CACHE_DIR or ~/.cache/repro-experiments)")
+    er.add_argument("--no-cache", action="store_true",
+                    help="disable result caching entirely")
+    er.add_argument("--out", default=None, metavar="DIR",
+                    help="also save JSON/CSV artifacts under DIR")
+    er.add_argument("--coarse", action="store_true",
+                    help="subsample every grid axis to at most 3 values")
+    er.add_argument("--quiet", action="store_true",
+                    help="suppress incremental progress output")
     return p
 
 
@@ -183,6 +209,74 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _coarsen(values: tuple, keep: int = 3) -> tuple:
+    """At most ``keep`` values spread over the axis, endpoints included."""
+    if len(values) <= keep:
+        return values
+    idx = sorted({round(i * (len(values) - 1) / (keep - 1)) for i in range(keep)})
+    return tuple(values[i] for i in idx)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import (
+        ArtifactStore,
+        ConsoleProgress,
+        ExperimentRunner,
+        NullProgress,
+        ResultCache,
+        get_scenario,
+        list_scenarios,
+        summary_table,
+    )
+
+    if args.exp_command == "list":
+        scenarios = list_scenarios(tag=args.tag)
+        if not scenarios:
+            print("no scenarios registered" +
+                  (f" with tag {args.tag!r}" if args.tag else ""))
+            return 1
+        width = max(len(s.name) for s in scenarios)
+        for s in scenarios:
+            tags = f" [{', '.join(s.tags)}]" if s.tags else ""
+            print(f"{s.name:<{width}}  {s.n_jobs:>6} jobs{tags}  "
+                  f"{s.description}")
+        return 0
+
+    if args.no_cache:
+        cache = None
+    else:
+        cache_dir = args.cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR",
+            os.path.join("~", ".cache", "repro-experiments"),
+        )
+        cache = ResultCache(os.path.expanduser(cache_dir))
+    runner = ExperimentRunner(
+        workers=args.workers,
+        cache=cache,
+        progress=NullProgress() if args.quiet else ConsoleProgress(),
+    )
+    store = ArtifactStore(args.out) if args.out else None
+    for name in args.names:
+        try:
+            scenario = get_scenario(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if args.coarse:
+            scenario = scenario.with_grid(
+                lambdas=_coarsen(scenario.lambdas),
+                alphas=_coarsen(scenario.alphas),
+                accuracies=_coarsen(scenario.accuracies),
+            )
+        result = runner.run(scenario)
+        print(summary_table(result))
+        if store is not None:
+            path = store.save(result)
+            print(f"artifacts saved to {path}")
+        print()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -192,8 +286,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tight": _cmd_tight,
         "wang": _cmd_wang,
         "adversary": _cmd_adversary,
+        "experiments": _cmd_experiments,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        resumable = (
+            args.command == "experiments"
+            and getattr(args, "exp_command", "") == "run"
+            and not getattr(args, "no_cache", False)
+        )
+        print(
+            "\ninterrupted — completed cells are cached and the next run "
+            "resumes from them" if resumable else "\ninterrupted",
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,124 @@
+"""JSON/CSV artifact store for experiment results with provenance.
+
+One saved experiment is a directory ``<root>/<name>/`` holding
+
+* ``result.json`` — provenance (git SHA, UTC timestamp, package and
+  Python versions), the parameter grid actually run, execution
+  statistics, and every result row;
+* ``rows.csv`` — the same rows in spreadsheet-friendly form.
+
+Artifacts are plain files on purpose: they diff cleanly, survive
+refactors of the in-memory classes, and downstream plotting needs no
+imports from this package.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ArtifactStore", "provenance"]
+
+_ROW_FIELDS = (
+    "scenario",
+    "seed",
+    "lam",
+    "alpha",
+    "accuracy",
+    "online_cost",
+    "optimal_cost",
+    "ratio",
+    "cached",
+)
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance() -> dict[str, Any]:
+    """Reproducibility metadata attached to every saved artifact."""
+    from .. import __version__
+
+    return {
+        "git_sha": _git_sha(),
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "package_version": __version__,
+        "python_version": sys.version.split()[0],
+    }
+
+
+class ArtifactStore:
+    """Save and load experiment results under one root directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path_for(self, name: str) -> Path:
+        return self.root / name
+
+    # ------------------------------------------------------------------
+    def save(self, result, name: str | None = None) -> Path:
+        """Persist an :class:`~.runner.ExperimentResult`; returns its dir."""
+        name = name or result.scenario
+        out_dir = self.path_for(name)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        rows = result.rows()
+        grid = {
+            "lambdas": sorted({r["lam"] for r in rows}),
+            "alphas": sorted({r["alpha"] for r in rows}),
+            "accuracies": sorted({r["accuracy"] for r in rows}),
+            "seeds": sorted({r["seed"] for r in rows}),
+        }
+        payload = {
+            "provenance": provenance(),
+            "scenario": result.scenario,
+            "description": result.description,
+            "grid": grid,
+            "stats": {
+                "jobs": len(result),
+                "executed": result.executed,
+                "cached": result.cached,
+                "opt_executed": result.opt_executed,
+                "opt_cached": result.opt_cached,
+                "workers": result.workers,
+                "elapsed_seconds": result.elapsed,
+            },
+            "rows": rows,
+        }
+        with open(out_dir / "result.json", "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        with open(out_dir / "rows.csv", "w", encoding="utf-8", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=_ROW_FIELDS)
+            writer.writeheader()
+            writer.writerows(rows)
+        return out_dir
+
+    def load(self, name: str) -> dict[str, Any]:
+        """Load a saved ``result.json`` back as a plain dict."""
+        with open(self.path_for(name) / "result.json", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def names(self) -> list[str]:
+        """Saved experiment names (directories containing result.json)."""
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.parent.name for p in self.root.glob("*/result.json")
+        )

@@ -1,0 +1,118 @@
+"""Incremental progress reporting and result summary tables.
+
+Runners accept any object with the small :class:`ProgressReporter`
+surface; :class:`ConsoleProgress` throttles itself so a million-job grid
+does not drown the terminal, and :func:`summary_table` renders a
+finished :class:`~.runner.ExperimentResult` in the same per-lambda
+table layout the paper's figures use.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO
+
+__all__ = [
+    "ProgressReporter",
+    "NullProgress",
+    "ConsoleProgress",
+    "summary_table",
+]
+
+
+class ProgressReporter:
+    """Minimal progress surface: ``start``, ``update``, ``finish``."""
+
+    def start(self, total: int, cached: int = 0, label: str = "") -> None:
+        """Begin a run of ``total`` jobs, ``cached`` of them pre-resolved."""
+
+    def update(self, n: int = 1) -> None:
+        """Record ``n`` newly executed jobs."""
+
+    def finish(self) -> None:
+        """The run completed."""
+
+
+class NullProgress(ProgressReporter):
+    """Silent reporter (the default for library use)."""
+
+
+class ConsoleProgress(ProgressReporter):
+    """Line-based progress on a stream, rate-limited to ``min_interval``.
+
+    Prints one line at start (total and cache hits), periodic count
+    lines while jobs execute, and a completion line with throughput.
+    """
+
+    def __init__(self, stream: IO[str] | None = None, min_interval: float = 0.5):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self._total = 0
+        self._cached = 0
+        self._done = 0
+        self._label = ""
+        self._t0 = 0.0
+        self._last_print = 0.0
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def start(self, total: int, cached: int = 0, label: str = "") -> None:
+        self._total, self._cached, self._done = total, cached, cached
+        self._label = label or "experiment"
+        self._t0 = self._last_print = time.monotonic()
+        todo = total - cached
+        self._emit(
+            f"[{self._label}] {total} jobs "
+            f"({cached} cached, {todo} to run)"
+        )
+
+    def update(self, n: int = 1) -> None:
+        self._done += n
+        now = time.monotonic()
+        if now - self._last_print < self.min_interval and self._done < self._total:
+            return
+        self._last_print = now
+        self._emit(f"[{self._label}] {self._done}/{self._total} done")
+
+    def finish(self) -> None:
+        elapsed = time.monotonic() - self._t0
+        executed = self._done - self._cached
+        rate = executed / elapsed if elapsed > 0 else float("inf")
+        self._emit(
+            f"[{self._label}] finished: {executed} executed, "
+            f"{self._cached} cached in {elapsed:.1f}s ({rate:.1f} jobs/s)"
+        )
+
+
+def summary_table(result) -> str:
+    """Render an :class:`~.runner.ExperimentResult` for humans.
+
+    One header block with execution statistics, then the per-lambda
+    ratio tables (alpha rows x accuracy columns) per seed.
+    """
+    from ..analysis.sweep import format_table
+
+    lines = [
+        f"scenario: {result.scenario} — {result.description}",
+        f"jobs: {len(result)} "
+        f"(executed {result.executed}, cached {result.cached}; "
+        f"optima computed {result.opt_executed}, cached {result.opt_cached})",
+        f"workers: {result.workers}, elapsed: {result.elapsed:.2f}s",
+    ]
+    seeds = result.seeds()
+    ratios = [r.ratio for r in result.results]
+    if ratios:
+        lines.append(
+            f"ratio range: {min(ratios):.4f} .. {max(ratios):.4f}"
+        )
+    for seed in seeds:
+        sweep = result.sweep_result(seed)
+        for lam in sweep.lambdas():
+            title = f"{result.scenario}: lambda = {lam:g}"
+            if len(seeds) > 1:
+                title += f", seed = {seed}"
+            lines.append("")
+            lines.append(format_table(sweep, lam, title=title))
+    return "\n".join(lines)

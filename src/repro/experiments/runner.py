@@ -1,0 +1,563 @@
+"""Parallel experiment execution with caching and deterministic results.
+
+:class:`ExperimentRunner` expands a :class:`~.registry.Scenario` into
+atomic :class:`Job`s — one per ``(lambda, alpha, accuracy, seed)`` cell
+— and shards them across a ``ProcessPoolExecutor``.  Three properties
+make the parallelism safe to adopt everywhere:
+
+* **Determinism** — every job seeds its own predictor from the job's
+  ``seed`` field, exactly as the serial :func:`~..analysis.sweep.sweep_grid`
+  loop does, so ``workers=8`` is bit-identical to ``workers=1`` and to
+  the legacy serial path.
+* **Caching / resumability** — each completed job (and each offline-
+  optimal computation) is written to the :class:`~.cache.ResultCache` as
+  it finishes; an interrupted grid resumes from the completed cells and
+  a warm re-run executes zero simulations.
+* **Cheap dispatch** — jobs are tiny tuples; traces and factories reach
+  the workers through fork-inherited module state (never pickled), and
+  jobs are chunked to amortise the remaining IPC.
+
+On platforms without the ``fork`` start method (or with ``workers<=1``)
+execution falls back to the identical in-process code path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..analysis.sweep import SweepPoint, SweepResult, algorithm1_factory
+from ..core.costs import CostModel
+from ..core.simulator import simulate
+from ..core.trace import Trace
+from ..offline.dp import optimal_cost
+from .cache import NullCache, ResultCache, trace_digest
+from .progress import NullProgress, ProgressReporter
+from .registry import PolicyFactory, Scenario, get_scenario
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "ExperimentResult",
+    "ExperimentRunner",
+]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One atomic simulation cell of a scenario grid."""
+
+    index: int
+    scenario: str
+    lam: float
+    alpha: float
+    accuracy: float
+    seed: int
+    trace_key: tuple = ()
+
+    @property
+    def params(self) -> dict[str, float | int]:
+        return {
+            "lam": self.lam,
+            "alpha": self.alpha,
+            "accuracy": self.accuracy,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A completed job: its parameters plus both measured costs."""
+
+    job: Job
+    online_cost: float
+    optimal_cost: float
+    cached: bool = False
+
+    @property
+    def ratio(self) -> float:
+        if self.optimal_cost == 0:
+            return float("inf")
+        return self.online_cost / self.optimal_cost
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "scenario": self.job.scenario,
+            "seed": self.job.seed,
+            "lam": self.job.lam,
+            "alpha": self.job.alpha,
+            "accuracy": self.job.accuracy,
+            "online_cost": self.online_cost,
+            "optimal_cost": self.optimal_cost,
+            "ratio": self.ratio,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one scenario run plus execution statistics."""
+
+    scenario: str
+    description: str
+    results: list[JobResult] = field(default_factory=list)
+    workers: int = 1
+    executed: int = 0
+    cached: int = 0
+    opt_executed: int = 0
+    opt_cached: int = 0
+    elapsed: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def rows(self) -> list[dict[str, Any]]:
+        return [r.as_row() for r in self.results]
+
+    def seeds(self) -> list[int]:
+        return sorted({r.job.seed for r in self.results})
+
+    def sweep_result(self, seed: int | None = None) -> SweepResult:
+        """The rows of one seed as a legacy :class:`SweepResult`.
+
+        With a single-seed scenario the seed argument may be omitted; the
+        returned points follow the serial ``sweep_grid`` ordering.
+        """
+        seeds = self.seeds()
+        if seed is None:
+            if len(seeds) > 1:
+                raise ValueError(
+                    f"scenario {self.scenario} has seeds {seeds}; pass seed="
+                )
+            seed = seeds[0] if seeds else 0
+        out = SweepResult()
+        for r in sorted(self.results, key=lambda r: r.job.index):
+            if r.job.seed != seed:
+                continue
+            out.add(
+                SweepPoint(
+                    lam=r.job.lam,
+                    alpha=r.job.alpha,
+                    accuracy=r.job.accuracy,
+                    online_cost=r.online_cost,
+                    optimal_cost=r.optimal_cost,
+                )
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# worker-side state and task functions
+#
+# The scenario (with its arbitrary, possibly unpicklable factories) and
+# the pre-built traces are published in this module-level slot *before*
+# the pool is created; forked workers inherit the snapshot, so task
+# arguments stay tiny and nothing user-defined is ever pickled.
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: dict[str, Any] | None = None
+
+
+def _ctx() -> dict[str, Any]:
+    if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
+        raise RuntimeError("experiment worker context is not initialised")
+    return _WORKER_CONTEXT
+
+
+def _opt_task(item: tuple[tuple, float]) -> tuple[tuple, float, float]:
+    trace_key, lam = item
+    trace: Trace = _ctx()["traces"][trace_key]
+    opt = optimal_cost(trace, CostModel(lam=lam, n=trace.n))
+    return trace_key, lam, opt
+
+
+def _sim_chunk_task(
+    chunk: Sequence[tuple[int, tuple, float, float, float, int]],
+) -> list[tuple[int, float]]:
+    ctx = _ctx()
+    scenario: Scenario = ctx["scenario"]
+    traces: dict[tuple, Trace] = ctx["traces"]
+    out: list[tuple[int, float]] = []
+    for index, trace_key, lam, alpha, accuracy, seed in chunk:
+        trace = traces[trace_key]
+        policy = scenario.policy_factory(trace, lam, alpha, accuracy, seed)
+        run = simulate(trace, CostModel(lam=lam, n=trace.n), policy)
+        out.append((index, run.total_cost))
+    return out
+
+
+def _fleet_chunk_task(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
+    ctx = _ctx()
+    specs = ctx["specs"]
+    n: int = ctx["n"]
+    compute_optimal: bool = ctx["compute_optimal"]
+    out = []
+    for i in indices:
+        spec = specs[i]
+        model = CostModel(lam=spec.lam, n=n)
+        policy = spec.policy_factory(spec.trace, model)
+        result = simulate(spec.trace, model, policy)
+        opt = optimal_cost(spec.trace, model) if compute_optimal else 0.0
+        out.append((i, result, opt))
+    return out
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _stable_identity(fn) -> str | None:
+    """``module.qualname`` if that path resolves back to ``fn``, else None.
+
+    Closures, lambdas, and bound methods share a qualname across
+    distinct parameterisations, so their identity is not cache-safe.
+    """
+    mod = getattr(fn, "__module__", None)
+    qual = getattr(fn, "__qualname__", "")
+    if not mod or "<locals>" in qual or "<lambda>" in qual:
+        return None
+    obj = sys.modules.get(mod)
+    for part in qual.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return None
+    return f"{mod}.{qual}" if obj is fn else None
+
+
+class _Executor:
+    """Uniform chunk executor: forked process pool, or in-process.
+
+    Publishes ``context`` to :data:`_WORKER_CONTEXT` for the duration of
+    the run so the task functions behave identically on both paths.
+    """
+
+    def __init__(self, workers: int, context: dict[str, Any]):
+        self._context = context
+        self._mp = _fork_context() if workers > 1 else None
+        self.workers = workers if self._mp is not None else 1
+
+    def __enter__(self) -> "_Executor":
+        global _WORKER_CONTEXT
+        _WORKER_CONTEXT = self._context
+        self._pool = (
+            ProcessPoolExecutor(max_workers=self.workers, mp_context=self._mp)
+            if self.workers > 1
+            else None
+        )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _WORKER_CONTEXT
+        if self._pool is not None:
+            # cancel anything still queued (interrupt/resume support)
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        _WORKER_CONTEXT = None
+
+    def run(self, fn, chunks: Sequence[Any]):
+        """Yield ``fn(chunk)`` results as they complete (any order)."""
+        yield from (
+            result for _, result in self.run_tagged([(None, fn, c) for c in chunks])
+        )
+
+    def run_tagged(self, tasks: Sequence[tuple[Any, Any, Any]]):
+        """Yield ``(tag, fn(arg))`` for heterogeneous tasks as they
+        complete — all tasks enter the pool together, so cheap and
+        expensive kinds never serialise behind each other."""
+        if self._pool is None:
+            for tag, fn, arg in tasks:
+                yield tag, fn(arg)
+            return
+        tags = {self._pool.submit(fn, arg): tag for tag, fn, arg in tasks}
+        pending = set(tags)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                yield tags[fut], fut.result()
+
+
+class ExperimentRunner:
+    """Run scenarios, grids, and fleets in parallel with result caching.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` auto-detects (``os.cpu_count()``), values
+        ``<= 1`` run serially in-process (still with caching/progress).
+    cache:
+        A :class:`ResultCache` for on-disk memoisation, or ``None`` to
+        disable caching entirely.
+    chunk_size:
+        Jobs per dispatched task; ``None`` picks a size that keeps every
+        worker busy while amortising pickling.
+    progress:
+        A :class:`~.progress.ProgressReporter`; defaults to silent.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        chunk_size: int | None = None,
+        progress: ProgressReporter | None = None,
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = max(1, int(workers))
+        self.cache = cache if cache is not None else NullCache()
+        self.chunk_size = chunk_size
+        self.progress = progress if progress is not None else NullProgress()
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: str | Scenario) -> ExperimentResult:
+        """Execute every cell of a scenario (registered name or object)."""
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        return self._run_scenario(scenario)
+
+    def run_grid(
+        self,
+        trace: Trace,
+        lambdas: Sequence[float],
+        alphas: Sequence[float],
+        accuracies: Sequence[float],
+        factory: PolicyFactory = algorithm1_factory,
+        seed: int = 0,
+        optimal_cache: dict[float, float] | None = None,
+    ) -> SweepResult:
+        """Drop-in parallel equivalent of the serial ``sweep_grid`` loop.
+
+        Simulation results are disk-cached only when ``factory`` is a
+        plain module-level function whose name is a stable identity;
+        closures, lambdas, and bound methods carry hidden state the
+        cache key cannot see, so their grids run uncached (the offline
+        optima, which depend only on the trace, stay cached either way).
+        """
+        salt = _stable_identity(factory)
+        scenario = Scenario(
+            name="adhoc-grid",
+            description="ad-hoc sweep_grid delegation",
+            trace_factory=lambda: trace,
+            policy_factory=factory,
+            lambdas=tuple(lambdas),
+            alphas=tuple(alphas),
+            accuracies=tuple(accuracies),
+            seeds=(seed,),
+            trace_params=(),
+            cache_salt=salt or "",
+        )
+        result = self._run_scenario(
+            scenario,
+            optimal_cache=optimal_cache,
+            sim_cache=self.cache if salt is not None else NullCache(),
+        )
+        return result.sweep_result(seed)
+
+    def run_fleet(self, system, compute_optimal: bool = True):
+        """Parallel equivalent of ``MultiObjectSystem.run``.
+
+        Object results are not cached (policy factories of ad-hoc specs
+        have no stable identity); parallelism and progress only.
+        """
+        from ..system.multi_object import FleetReport, ObjectOutcome
+
+        specs = list(system.specs)
+        report = FleetReport()
+        if not specs:
+            return report
+        context = {
+            "specs": specs,
+            "n": system.n,
+            "compute_optimal": bool(compute_optimal),
+        }
+        chunks = _chunked(list(range(len(specs))), self._chunk_size(len(specs)))
+        self.progress.start(len(specs), label="fleet")
+        outcomes: dict[int, ObjectOutcome] = {}
+        with _Executor(self.workers, context) as ex:
+            for batch in ex.run(_fleet_chunk_task, chunks):
+                for i, result, opt in batch:
+                    outcomes[i] = ObjectOutcome(specs[i].object_id, result, opt)
+                    self.progress.update()
+        self.progress.finish()
+        report.outcomes.extend(outcomes[i] for i in range(len(specs)))
+        return report
+
+    # ------------------------------------------------------------------
+    def _chunk_size(self, n_tasks: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        if n_tasks == 0:
+            return 1
+        # ~4 chunks per worker balances load against dispatch overhead
+        return max(1, min(64, -(-n_tasks // (self.workers * 4))))
+
+    def _run_scenario(
+        self,
+        scenario: Scenario,
+        optimal_cache: dict[float, float] | None = None,
+        sim_cache: ResultCache | NullCache | None = None,
+    ) -> ExperimentResult:
+        if sim_cache is None:
+            sim_cache = self.cache
+        t0 = time.perf_counter()
+        jobs = _enumerate_jobs(scenario)
+        out = ExperimentResult(
+            scenario=scenario.name,
+            description=scenario.description,
+            workers=self.workers,
+        )
+
+        # build each distinct trace once, in the parent
+        traces: dict[tuple, Trace] = {}
+        digests: dict[tuple, str] = {}
+        for job in jobs:
+            if job.trace_key not in traces:
+                tr = scenario.build_trace(**job.params)
+                traces[job.trace_key] = tr
+                digests[job.trace_key] = trace_digest(tr)
+
+        context = {"scenario": scenario, "traces": traces}
+        opts: dict[tuple[tuple, float], float] = {}
+        online: dict[int, tuple[float, bool]] = {}
+
+        # ----- offline optima: one per distinct (trace, lambda) -------
+        opt_pairs = list(dict.fromkeys((j.trace_key, j.lam) for j in jobs))
+        opt_misses: list[tuple[tuple, float]] = []
+        single_trace = len(traces) == 1
+        for tk, lam in opt_pairs:
+            if optimal_cache is not None and single_trace and lam in optimal_cache:
+                opts[(tk, lam)] = optimal_cache[lam]
+                out.opt_cached += 1
+                continue
+            hit = self.cache.get(self._opt_payload(scenario, digests[tk], lam))
+            if hit is not None:
+                opts[(tk, lam)] = float(hit["optimal_cost"])
+                out.opt_cached += 1
+            else:
+                opt_misses.append((tk, lam))
+
+        # ----- simulations: consult the cache, then dispatch misses ---
+        sim_misses: list[Job] = []
+        for job in jobs:
+            hit = sim_cache.get(
+                self._sim_payload(scenario, digests[job.trace_key], job)
+            )
+            if hit is not None:
+                online[job.index] = (float(hit["online_cost"]), True)
+                out.cached += 1
+            else:
+                sim_misses.append(job)
+
+        self.progress.start(
+            len(jobs), cached=out.cached, label=scenario.name
+        )
+        sim_items = [
+            (j.index, j.trace_key, j.lam, j.alpha, j.accuracy, j.seed)
+            for j in sim_misses
+        ]
+        by_index = {j.index: j for j in sim_misses}
+        chunks = _chunked(sim_items, self._chunk_size(len(sim_items)))
+        # optima and simulation chunks enter the pool together: the
+        # optima are consumed only at assembly below, so nothing waits
+        # on the (expensive) DP before simulations start
+        tasks = [("opt", _opt_task, pair) for pair in opt_misses]
+        tasks += [("sim", _sim_chunk_task, chunk) for chunk in chunks]
+        with _Executor(self.workers, context) as ex:
+            for tag, result in ex.run_tagged(tasks):
+                if tag == "opt":
+                    tk, lam, opt = result
+                    opts[(tk, lam)] = opt
+                    out.opt_executed += 1
+                    self.cache.put(
+                        self._opt_payload(scenario, digests[tk], lam),
+                        {"optimal_cost": opt},
+                    )
+                    if optimal_cache is not None and single_trace:
+                        optimal_cache[lam] = opt
+                    continue
+                for index, cost in result:
+                    online[index] = (cost, False)
+                    out.executed += 1
+                    job = by_index[index]
+                    sim_cache.put(
+                        self._sim_payload(
+                            scenario, digests[job.trace_key], job
+                        ),
+                        {"online_cost": cost},
+                    )
+                    self.progress.update()
+
+        for job in jobs:
+            cost, was_cached = online[job.index]
+            out.results.append(
+                JobResult(
+                    job=job,
+                    online_cost=cost,
+                    optimal_cost=opts[(job.trace_key, job.lam)],
+                    cached=was_cached,
+                )
+            )
+        out.elapsed = time.perf_counter() - t0
+        self.progress.finish()
+        return out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _base_payload(scenario: Scenario, digest: str) -> dict[str, Any]:
+        return {
+            "scenario": scenario.name,
+            "scenario_version": scenario.version,
+            "salt": scenario.cache_salt,
+            "trace": digest,
+        }
+
+    def _opt_payload(
+        self, scenario: Scenario, digest: str, lam: float
+    ) -> dict[str, Any]:
+        # the offline optimum depends only on the trace and lambda, so the
+        # payload deliberately omits scenario identity: grids sharing a
+        # trace share their optima
+        return {"kind": "opt", "trace": digest, "lam": lam}
+
+    def _sim_payload(
+        self, scenario: Scenario, digest: str, job: Job
+    ) -> dict[str, Any]:
+        return {
+            "kind": "sim",
+            **self._base_payload(scenario, digest),
+            **job.params,
+        }
+
+
+def _enumerate_jobs(scenario: Scenario) -> list[Job]:
+    """Expand a scenario grid in the serial ``sweep_grid`` order."""
+    jobs: list[Job] = []
+    for seed, lam, alpha, accuracy in itertools.product(
+        scenario.seeds, scenario.lambdas, scenario.alphas, scenario.accuracies
+    ):
+        key = tuple(
+            scenario.trace_args(lam, alpha, accuracy, seed).values()
+        )
+        jobs.append(
+            Job(
+                index=len(jobs),
+                scenario=scenario.name,
+                lam=lam,
+                alpha=alpha,
+                accuracy=accuracy,
+                seed=seed,
+                trace_key=key,
+            )
+        )
+    return jobs
+
+
+def _chunked(items: Sequence[Any], size: int) -> list[Sequence[Any]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]

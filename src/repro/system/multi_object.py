@@ -148,8 +148,16 @@ class MultiObjectSystem:
                     f"object {s.object_id}: trace.n={s.trace.n} != system n={n}"
                 )
 
-    def run(self, compute_optimal: bool = True) -> FleetReport:
-        """Simulate every object; optionally skip the offline optima."""
+    def run(self, compute_optimal: bool = True, runner=None) -> FleetReport:
+        """Simulate every object; optionally skip the offline optima.
+
+        ``runner`` may be an :class:`repro.experiments.ExperimentRunner`;
+        per-object simulations then run across its worker processes with
+        results identical to the serial path (objects are independent).
+        The default preserves serial execution.
+        """
+        if runner is not None:
+            return runner.run_fleet(self, compute_optimal=compute_optimal)
         report = FleetReport()
         for spec in self.specs:
             model = CostModel(lam=spec.lam, n=self.n)
