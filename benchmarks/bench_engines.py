@@ -1,0 +1,164 @@
+"""Engine tier benchmark: reference event loop vs fast cost-only replay.
+
+Runs the *engines smoke grid* — Algorithm 1 with noisy-oracle
+predictions over ``lambda x alpha x accuracy`` = {100, 1000} x
+{0.2, 1.0} x {0, 1} on a 2000-request IBM-like trace — once per engine,
+asserts the two cost ledgers are identical, and records wall-clock and
+speedup.  A 2000-request trace keeps the grid seconds-scale for CI while
+being long enough that per-request overheads (not fixed setup) dominate,
+which is what the engine tiers differ in.
+
+Standalone use (the CI smoke step)::
+
+    python benchmarks/bench_engines.py [--out benchmarks/BENCH_engines.json]
+
+writes ``BENCH_engines.json`` seeding the perf trajectory:
+``{"speedup": ..., "reference_s": ..., "fast_s": ..., "cells": [...]}``.
+Cost equality between the engines is always asserted; the wall-clock
+speedup gate only fails the process under ``--strict`` (CI smoke runs
+non-strict so a contended shared runner cannot flake unrelated PRs —
+the pytest entry point keeps the gate for dedicated perf runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+SMOKE_LAMBDAS = (100.0, 1000.0)
+SMOKE_ALPHAS = (0.2, 1.0)
+SMOKE_ACCURACIES = (0.0, 1.0)
+SMOKE_M = 2000
+SMOKE_N = 10
+SMOKE_SEED = 0
+
+#: CI gate; locally measured speedups are ~13x (see BENCH_engines.json),
+#: the gate leaves headroom for noisy shared runners
+MIN_SPEEDUP = 8.0
+
+
+def _smoke_trace():
+    from repro.workloads import ibm_like_trace
+
+    return ibm_like_trace(n=SMOKE_N, m=SMOKE_M, seed=SMOKE_SEED)
+
+
+def run_engine_grid(trace=None, repeats: int = 3) -> dict:
+    """Time both engines over every smoke-grid cell; best of ``repeats``.
+
+    Policies are constructed outside the timers (predictor setup is
+    identical for both engines); each timed unit is one ``engine.run``.
+    """
+    from repro.analysis.sweep import algorithm1_factory
+    from repro.core.costs import CostModel
+    from repro.core.engine import FastCostEngine, ReferenceEngine
+
+    if trace is None:
+        trace = _smoke_trace()
+    fast = FastCostEngine()
+    ref = ReferenceEngine()
+    cells = []
+    total_ref = 0.0
+    total_fast = 0.0
+    for lam in SMOKE_LAMBDAS:
+        model = CostModel(lam=lam, n=trace.n)
+        for alpha in SMOKE_ALPHAS:
+            for acc in SMOKE_ACCURACIES:
+                best_ref = best_fast = float("inf")
+                for _ in range(repeats):
+                    policy = algorithm1_factory(trace, lam, alpha, acc, SMOKE_SEED)
+                    t0 = time.perf_counter()
+                    r = ref.run(trace, model, policy)
+                    best_ref = min(best_ref, time.perf_counter() - t0)
+
+                    policy = algorithm1_factory(trace, lam, alpha, acc, SMOKE_SEED)
+                    t0 = time.perf_counter()
+                    f = fast.run(trace, model, policy)
+                    best_fast = min(best_fast, time.perf_counter() - t0)
+
+                    assert f.storage_cost == r.storage_cost, (lam, alpha, acc)
+                    assert f.transfer_cost == r.transfer_cost, (lam, alpha, acc)
+                total_ref += best_ref
+                total_fast += best_fast
+                cells.append(
+                    {
+                        "lam": lam,
+                        "alpha": alpha,
+                        "accuracy": acc,
+                        "total_cost": f.total_cost,
+                        "reference_s": best_ref,
+                        "fast_s": best_fast,
+                        "speedup": best_ref / best_fast,
+                    }
+                )
+    return {
+        "grid": "engines-smoke",
+        "trace": {"workload": "ibm_like", "n": SMOKE_N, "m": SMOKE_M,
+                  "seed": SMOKE_SEED},
+        "reference_s": total_ref,
+        "fast_s": total_fast,
+        "speedup": total_ref / total_fast,
+        "cells": cells,
+    }
+
+
+def test_engine_speedup(benchmark, paper_trace):
+    """Fast engine: identical costs, >= MIN_SPEEDUP x on the smoke grid."""
+    from conftest import emit
+    from repro.core.costs import CostModel
+    from repro.core.engine import FastCostEngine
+    from repro.analysis.sweep import algorithm1_factory
+
+    report = run_engine_grid()
+    lines = [
+        f"{c['lam']:>8g} {c['alpha']:>5g} {c['accuracy']:>4g} "
+        f"{c['reference_s'] * 1e3:>9.2f}ms {c['fast_s'] * 1e3:>8.2f}ms "
+        f"{c['speedup']:>6.1f}x"
+        for c in report["cells"]
+    ]
+    emit(
+        "Engine tiers (reference vs fast, smoke grid)",
+        "  lambda alpha  acc  reference     fast  speedup\n"
+        + "\n".join(lines)
+        + f"\nTOTAL reference {report['reference_s']:.3f}s  fast "
+        f"{report['fast_s']:.3f}s  speedup {report['speedup']:.1f}x",
+    )
+    assert report["speedup"] >= MIN_SPEEDUP
+
+    # timed unit: one fast-engine run on the full-length paper trace
+    model = CostModel(lam=1000.0, n=paper_trace.n)
+    fast = FastCostEngine()
+    policy = algorithm1_factory(paper_trace, 1000.0, 0.2, 1.0, 0)
+    benchmark(lambda: fast.run(paper_trace, model, policy).total_cost)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    out = os.path.join(os.path.dirname(__file__), "BENCH_engines.json")
+    if "--out" in args:
+        out = args[args.index("--out") + 1]
+    strict = "--strict" in args
+    report = run_engine_grid()
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"engines smoke grid ({len(report['cells'])} cells, "
+        f"m={SMOKE_M}): reference {report['reference_s']:.3f}s, "
+        f"fast {report['fast_s']:.3f}s, speedup {report['speedup']:.1f}x "
+        f"-> {out}"
+    )
+    if report["speedup"] < MIN_SPEEDUP:
+        print(
+            f"{'FAIL' if strict else 'WARNING'}: speedup below the "
+            f"{MIN_SPEEDUP:g}x gate",
+            file=sys.stderr,
+        )
+        return 1 if strict else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

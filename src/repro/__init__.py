@@ -48,15 +48,22 @@ from .analysis import (
 from .core import (
     CostLedger,
     CostModel,
+    CostResult,
+    Engine,
+    EngineError,
     EventKind,
     EventLog,
+    FastCostEngine,
     InteractiveSimulation,
     PolicyError,
+    ReferenceEngine,
     ReplicationPolicy,
     Request,
     SimulationResult,
     Trace,
     TraceError,
+    get_engine,
+    select_engine,
     simulate,
 )
 from .offline import (
@@ -83,6 +90,7 @@ from .predictions import (
     MarkovChainPredictor,
     NoisyOraclePredictor,
     OraclePredictor,
+    PredictionStream,
     Predictor,
     SlidingWindowPredictor,
 )
@@ -116,6 +124,15 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "InteractiveSimulation",
+    # engines (tiered simulation)
+    "Engine",
+    "EngineError",
+    "CostResult",
+    "FastCostEngine",
+    "ReferenceEngine",
+    "get_engine",
+    "select_engine",
+    "PredictionStream",
     # algorithms
     "LearningAugmentedReplication",
     "AdaptiveReplication",

@@ -16,8 +16,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.costs import CostModel
+from ..core.engine import Engine, select_engine
 from ..core.policy import ReplicationPolicy
-from ..core.simulator import simulate
 from ..core.trace import Trace
 from ..offline.dp import optimal_cost
 from ..predictions.oracle import NoisyOraclePredictor, OraclePredictor
@@ -61,11 +61,24 @@ class SweepResult:
     """All grid cells of one sweep, with lookup helpers."""
 
     points: list[SweepPoint] = field(default_factory=list)
+    _index: dict[tuple[float, float, float], SweepPoint] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for p in self.points:  # index points passed to the constructor
+            self._index.setdefault((p.lam, p.alpha, p.accuracy), p)
 
     def add(self, p: SweepPoint) -> None:
         self.points.append(p)
+        self._index.setdefault((p.lam, p.alpha, p.accuracy), p)
 
     def at(self, lam: float, alpha: float, accuracy: float) -> SweepPoint:
+        """O(1) lookup of one grid cell (tolerant fallback on near-misses)."""
+        hit = self._index.get((float(lam), float(alpha), float(accuracy)))
+        if hit is not None:
+            return hit
+        # fallback: inexact query values, or points appended directly
         for p in self.points:
             if (
                 np.isclose(p.lam, lam)
@@ -126,6 +139,7 @@ def sweep_grid(
     seed: int = 0,
     optimal_cache: dict[float, float] | None = None,
     runner=None,
+    engine: str | Engine | None = None,
 ) -> SweepResult:
     """Run the full (lambda, alpha, accuracy) grid on one trace.
 
@@ -136,6 +150,14 @@ def sweep_grid(
     the grid is then sharded across its worker processes (with on-disk
     caching if the runner has a cache) and yields bit-identical results
     to this serial path.  The default preserves serial execution.
+
+    ``engine`` selects the simulation engine per cell; the default
+    (``None``) means ``"auto"`` — the cost-only fast engine whenever the
+    factory's policy is fast-path eligible (grid cells consume only
+    ``total_cost``), the reference engine otherwise — or, with a
+    ``runner``, whatever engine the runner was configured with.  Results
+    are identical either way; pass ``"reference"`` to force the
+    full-telemetry simulator.
     """
     if runner is not None:
         return runner.run_grid(
@@ -146,7 +168,10 @@ def sweep_grid(
             factory=factory,
             seed=seed,
             optimal_cache=optimal_cache,
+            engine=engine,
         )
+    if engine is None:
+        engine = "auto"
     result = SweepResult()
     opt_cache = optimal_cache if optimal_cache is not None else {}
     for lam in lambdas:
@@ -157,7 +182,9 @@ def sweep_grid(
         for alpha in alphas:
             for acc in accuracies:
                 policy = factory(trace, lam, alpha, acc, seed)
-                run = simulate(trace, model, policy)
+                run = select_engine(trace, model, policy, engine).run(
+                    trace, model, policy
+                )
                 result.add(
                     SweepPoint(
                         lam=lam,

@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="6x6 grid instead of the paper's 11x11")
     s.add_argument("--heatmap", action="store_true",
                    help="also render an ASCII heat map per lambda")
+    s.add_argument("--engine", choices=("auto", "fast", "reference"),
+                   default="auto",
+                   help="simulation engine: 'fast' = cost-only slot-state "
+                   "replay, 'reference' = full-telemetry event loop, "
+                   "'auto' (default) = fast when eligible")
 
     a = sub.add_parser("adaptive", help="Figures 29-32 grid")
     a.add_argument("--lambda", dest="lam", type=float, default=1000.0)
@@ -119,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="subsample every grid axis to at most 3 values")
     er.add_argument("--quiet", action="store_true",
                     help="suppress incremental progress output")
+    er.add_argument("--engine", choices=("auto", "fast", "reference"),
+                    default="auto",
+                    help="simulation engine for grid cells (default: auto)")
     return p
 
 
@@ -130,7 +138,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         accs = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
     else:
         alphas, accs = PAPER_ALPHAS, PAPER_ACCURACIES
-    result = sweep_grid(trace, lams, alphas, accs, seed=args.seed)
+    result = sweep_grid(
+        trace, lams, alphas, accs, seed=args.seed,
+        engine=getattr(args, "engine", "auto"),
+    )
     for lam in lams:
         print(format_table(result, lam))
         if getattr(args, "heatmap", False):
@@ -254,6 +265,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         progress=NullProgress() if args.quiet else ConsoleProgress(),
+        engine=getattr(args, "engine", "auto"),
     )
     store = ArtifactStore(args.out) if args.out else None
     for name in args.names:

@@ -1,6 +1,16 @@
 """Core substrate: traces, cost model, event log, and the simulator."""
 
 from .costs import CostLedger, CostModel
+from .engine import (
+    ENGINE_NAMES,
+    CostResult,
+    Engine,
+    EngineError,
+    FastCostEngine,
+    ReferenceEngine,
+    get_engine,
+    select_engine,
+)
 from .events import Event, EventKind, EventLog
 from .policy import PolicyError, ReplicationPolicy
 from .simulator import (
@@ -17,6 +27,14 @@ from .validate import ValidationReport, validate_result
 __all__ = [
     "CostLedger",
     "CostModel",
+    "Engine",
+    "EngineError",
+    "ENGINE_NAMES",
+    "CostResult",
+    "FastCostEngine",
+    "ReferenceEngine",
+    "get_engine",
+    "select_engine",
     "Event",
     "EventKind",
     "EventLog",

@@ -1,0 +1,545 @@
+"""Tiered simulation engines: full-telemetry reference vs cost-only fast path.
+
+DESIGN
+======
+
+Why two engines
+---------------
+The event-driven simulator (:func:`repro.core.simulator.simulate`) is the
+semantic ground truth of this repository: it allocates an :class:`Event`
+per state change, a :class:`ServeRecord` per request, and a
+:class:`CopyRecord` per copy period, because the analysis layer (Section
+4.1 cost allocation, validation, plotting) consumes all of that
+telemetry.  The paper's evaluation grids, however, consume exactly one
+scalar per cell — ``total_cost`` — so grid throughput was bounded by
+bookkeeping the numbers never use.
+
+This module splits the two concerns behind one interface:
+
+* :class:`ReferenceEngine` — delegates to :func:`simulate` unchanged.
+  Full telemetry, every policy, the only engine whose results carry
+  event logs, serve records, copy records, and classifications.
+* :class:`FastCostEngine` — replays the *same decision process* with
+  slot-based scalar state: a dict of live copy segment starts, an expiry
+  heap of plain tuples, and a precomputed
+  :class:`~repro.predictions.stream.PredictionStream`.  No event log, no
+  per-request dataclasses, no policy callbacks.  It returns a
+  :class:`CostResult` carrying only the cost ledger totals.
+
+Exact equivalence, not approximate
+----------------------------------
+The fast engine is written to mirror the reference engine's
+*floating-point operation order*, not merely its semantics: storage is
+charged at the same moments (renewal, drop, finalize) with the same
+``(min(end, t_m) - min(start, t_m)) * rate`` expression, transfers are
+accumulated by the same repeated additions of ``lambda``, expiries pop
+in the same ``(time, server, token)`` heap order, and finalization walks
+live copies in the same dict-insertion order as ``SimContext._holding``.
+Noisy-oracle predictions are drawn as one batched ``random(m + 1)``
+call, bit-identical to the incremental per-query draws.  Consequently
+fast-engine costs are not just "within 1e-9" of the reference — they are
+bit-identical on every instance, and the test suite pins both.
+
+Which policies are fast-path eligible
+-------------------------------------
+A policy qualifies only if its decisions are a pure function of
+``(trace, model, streamable predictions)``:
+
+* :class:`LearningAugmentedReplication` (Algorithm 1) — eligible when
+  its predictor is streamable (oracle / noisy oracle / adversarial
+  built from the same trace, or a constant predictor).  Exact type
+  only: subclasses may override behaviour.
+* :class:`ConventionalReplication` — always eligible (``alpha = 1``
+  makes predictions irrelevant).
+* :class:`WangReplication` — always eligible (prediction-free).
+
+Everything else falls back to the reference engine:
+
+* :class:`AdaptiveReplication` monitors its own realized cost ratio and
+  switches durations adaptively — its state depends on per-request
+  telemetry the fast path does not materialise;
+* history-based predictors (sliding window, Markov, EWMA, ensembles)
+  learn from ``observe`` callbacks in arrival order;
+* anything needing classifications, serve records, event logs, or copy
+  records must use the reference engine — the fast path never produces
+  telemetry, by construction.
+
+``select_engine(trace, model, policy, "auto")`` encodes that rule: it
+returns the fast engine iff :meth:`FastCostEngine.supports` holds, else
+the reference engine.  ``sweep_grid`` and ``ExperimentRunner`` default
+to ``"auto"`` because grid cells consume only costs;
+``MultiObjectSystem.run`` defaults to ``"reference"`` because its
+:class:`FleetReport` exposes full per-object results.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from .costs import CostModel
+from .policy import PolicyError, ReplicationPolicy
+from .simulator import SimulationResult, simulate
+from .trace import Trace
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "ReferenceEngine",
+    "FastCostEngine",
+    "CostResult",
+    "ENGINE_NAMES",
+    "get_engine",
+    "select_engine",
+]
+
+
+class EngineError(RuntimeError):
+    """Raised when an engine is asked to run a policy it cannot handle."""
+
+
+@dataclass(frozen=True)
+class CostResult:
+    """Cost-only outcome of a fast-engine run.
+
+    Duck-compatible with :class:`~repro.core.simulator.SimulationResult`
+    for every cost consumer (``total_cost`` / ``storage_cost`` /
+    ``transfer_cost`` / ``policy_name`` / ``trace`` / ``model``); it
+    deliberately has no event log, serves, or copy records.
+    """
+
+    trace: Trace
+    model: CostModel
+    policy_name: str
+    storage_cost: float
+    transfer_cost: float
+    n_transfers: int
+    engine: str = "fast"
+
+    @property
+    def total_cost(self) -> float:
+        return self.storage_cost + self.transfer_cost
+
+
+class Engine(abc.ABC):
+    """A strategy for executing one policy over one trace."""
+
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def supports(
+        self, trace: Trace, model: CostModel, policy: ReplicationPolicy
+    ) -> bool:
+        """Whether :meth:`run` can execute this instance faithfully."""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        trace: Trace,
+        model: CostModel,
+        policy: ReplicationPolicy,
+        drain: bool = True,
+        drain_event_cap: int | None = None,
+    ):
+        """Execute ``policy`` over ``trace``; returns an object exposing
+        ``total_cost`` / ``storage_cost`` / ``transfer_cost``."""
+
+
+class ReferenceEngine(Engine):
+    """The full-telemetry event-driven simulator (semantic ground truth)."""
+
+    name = "reference"
+
+    def supports(
+        self, trace: Trace, model: CostModel, policy: ReplicationPolicy
+    ) -> bool:
+        return True
+
+    def run(
+        self,
+        trace: Trace,
+        model: CostModel,
+        policy: ReplicationPolicy,
+        drain: bool = True,
+        drain_event_cap: int | None = None,
+    ) -> SimulationResult:
+        return simulate(
+            trace, model, policy, drain=drain, drain_event_cap=drain_event_cap
+        )
+
+
+class FastCostEngine(Engine):
+    """Cost-only replay of Algorithm 1 / conventional / Wang policies.
+
+    See the module DESIGN docstring for eligibility rules and the
+    bit-identical-cost argument.
+    """
+
+    name = "fast"
+
+    # ------------------------------------------------------------------
+    def supports(
+        self, trace: Trace, model: CostModel, policy: ReplicationPolicy
+    ) -> bool:
+        from ..algorithms.conventional import ConventionalReplication
+        from ..algorithms.learning_augmented import LearningAugmentedReplication
+        from ..algorithms.wang import WangReplication
+        from ..predictions.stream import PredictionStream
+
+        kind = type(policy)
+        if kind is WangReplication:
+            return _wang_rates_ok(model)
+        if kind is ConventionalReplication:
+            return model.uniform_storage
+        if kind is LearningAugmentedReplication:
+            if not model.uniform_storage:
+                return False
+            # cheap type/provenance check; the stream itself is built
+            # once, in run()
+            return PredictionStream.supports_predictor(policy.predictor, trace)
+        return False
+
+    def run(
+        self,
+        trace: Trace,
+        model: CostModel,
+        policy: ReplicationPolicy,
+        drain: bool = True,
+        drain_event_cap: int | None = None,
+    ) -> CostResult:
+        from ..algorithms.conventional import ConventionalReplication
+        from ..algorithms.learning_augmented import LearningAugmentedReplication
+        from ..algorithms.wang import WangReplication
+
+        if model.n != trace.n:
+            raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
+        kind = type(policy)
+        if kind is WangReplication:
+            storage, transfer, n_tx = _fast_wang(
+                trace, model, drain, drain_event_cap
+            )
+        elif kind in (ConventionalReplication, LearningAugmentedReplication):
+            if not model.uniform_storage:
+                raise PolicyError(
+                    "Algorithm 1 assumes uniform storage rates (paper Section 2)"
+                )
+            stream = self._stream_for(policy, trace, model)
+            if stream is None:
+                raise EngineError(
+                    f"FastCostEngine cannot stream predictor "
+                    f"{policy.predictor.name!r}; use the reference engine"
+                )
+            storage, transfer, n_tx = _fast_algorithm1(
+                trace, model, policy.alpha, stream.within, drain, drain_event_cap
+            )
+        else:
+            raise EngineError(
+                f"FastCostEngine does not support {kind.__name__}; "
+                "use the reference engine"
+            )
+        return CostResult(
+            trace=trace,
+            model=model,
+            policy_name=policy.name,
+            storage_cost=storage,
+            transfer_cost=transfer,
+            n_transfers=n_tx,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stream_for(policy, trace: Trace, model: CostModel):
+        from ..algorithms.conventional import ConventionalReplication
+        from ..predictions.stream import PredictionStream
+
+        if type(policy) is ConventionalReplication:
+            # alpha = 1: both prediction branches choose duration lambda
+            return PredictionStream.fixed(trace, False)
+        return PredictionStream.for_predictor(policy.predictor, trace, model.lam)
+
+
+def _wang_rates_ok(model: CostModel) -> bool:
+    rates = model.storage_rates
+    return all(rates[i] <= rates[i + 1] for i in range(len(rates) - 1))
+
+
+# ----------------------------------------------------------------------
+# slot-state replay kernels
+#
+# Both kernels mirror SimContext's ledger arithmetic exactly: the same
+# charges in the same order with the same scalar expressions.  The
+# machinery they share — expiry heap/token protocol, t_m-clipped storage
+# charging, drain loop, finalize walk — lives in _slot_machinery and
+# _drain_expiries so the two policy families can never drift apart; the
+# seg dict mirrors SimContext._holding's insertion order (create
+# appends, renew replaces in place, drop removes) so finalization walks
+# live copies in the identical sequence.
+# ----------------------------------------------------------------------
+
+
+def _slot_machinery(t_m: float, rates):
+    """Shared scalar state: live segments, storage accumulator, expiry heap.
+
+    Returns ``(seg, acc, charge, schedule, pop_due, token)`` closures
+    mirroring ``SimContext``'s ``_charge_storage`` clipping,
+    ``schedule_expiry`` token replacement, and ``_pop_due_expiry`` lazy
+    stale-entry deletion bit for bit.
+    """
+    seg: dict[int, float] = {}       # server -> live segment start
+    acc = {"storage": 0.0}
+    heap: list[tuple[float, int, int]] = []
+    token: dict[int, int] = {}
+    counter = itertools.count()
+
+    def charge(server: int, start: float, end: float) -> None:
+        s = start if start < t_m else t_m
+        e = end if end < t_m else t_m
+        if e > s:
+            acc["storage"] += (e - s) * rates[server]
+
+    def schedule(server: int, when: float) -> None:
+        tok = next(counter)
+        token[server] = tok
+        heapq.heappush(heap, (when, server, tok))
+
+    def pop_due(until: float, inclusive: bool):
+        while heap:
+            when, server, tok = heap[0]
+            if token.get(server) != tok:
+                heapq.heappop(heap)  # stale entry
+                continue
+            if when < until or (inclusive and when <= until):
+                heapq.heappop(heap)
+                token.pop(server, None)
+                return when, server
+            return None
+        return None
+
+    return seg, acc, charge, schedule, pop_due, token
+
+
+def _drain_expiries(pop_due, expire, seg, n: int, drain_event_cap: int | None):
+    """Deliver post-final-request expirations, mirroring simulate()'s
+    drain loop (event cap, fired counting, inf guard)."""
+    inf = float("inf")
+    cap = drain_event_cap if drain_event_cap is not None else 4 * n + 16
+    fired = 0
+    while fired < cap:
+        due = pop_due(inf, True)
+        if due is None:
+            break
+        w, s = due
+        if w == inf:
+            continue
+        if s in seg:
+            expire(s, w)
+        fired += 1
+
+
+def _fast_algorithm1(
+    trace: Trace,
+    model: CostModel,
+    alpha: float,
+    within,
+    drain: bool,
+    drain_event_cap: int | None,
+) -> tuple[float, float, int]:
+    """Replay Algorithm 1 (lines 1-25) with scalar slot state."""
+    lam = model.lam
+    d_within = lam
+    d_beyond = alpha * lam
+    seg, acc, charge, schedule, pop_due, token = _slot_machinery(
+        trace.span, model.storage_rates
+    )
+    special = -1                    # server holding the special copy, if any
+    transfer = 0.0
+    n_transfers = 0
+
+    def expire(server: int, when: float) -> None:
+        nonlocal special
+        if len(seg) == 1:
+            special = server  # lines 20-25: keep the last copy as special
+        else:
+            charge(server, seg.pop(server), when)
+
+    # plain python lists: element access in the hot loop stays scalar
+    pred = [bool(b) for b in within]
+    times = trace.times.tolist()
+    servers = trace.servers.tolist()
+
+    # dummy request r_0: initial copy at server 0, duration from pred[0]
+    seg[0] = 0.0
+    schedule(0, d_within if pred[0] else d_beyond)
+
+    for i in range(len(times)):
+        t = times[i]
+        j = servers[i]
+        while True:
+            due = pop_due(t, False)
+            if due is None:
+                break
+            w, s = due
+            if s in seg:
+                expire(s, w)
+        if j in seg:
+            opened_now = False
+        else:
+            source = min(seg)
+            transfer += lam
+            n_transfers += 1
+            src_special = special == source
+            seg[j] = t                      # create at the destination
+            if src_special:
+                # lines 15-19: drop the special source after the transfer
+                charge(source, seg.pop(source), t)
+                token.pop(source, None)
+                special = -1
+            opened_now = True
+        duration = d_within if pred[i + 1] else d_beyond
+        if not opened_now:
+            # local serve: renew the copy period (charge the closed one)
+            charge(j, seg[j], t)
+            seg[j] = t
+            if special == j:
+                special = -1
+        schedule(j, t + duration)
+
+    if drain:
+        _drain_expiries(pop_due, expire, seg, trace.n, drain_event_cap)
+
+    t_m = trace.span
+    for s, start in seg.items():
+        charge(s, start, t_m)
+    return acc["storage"], transfer, n_transfers
+
+
+def _fast_wang(
+    trace: Trace,
+    model: CostModel,
+    drain: bool,
+    drain_event_cap: int | None,
+) -> tuple[float, float, int]:
+    """Replay the Wang et al. baseline with scalar slot state."""
+    rates = model.storage_rates
+    if not _wang_rates_ok(model):
+        raise PolicyError(
+            "WangReplication requires servers indexed by ascending "
+            "storage rate (mu(s_0) <= ... <= mu(s_{n-1}))"
+        )
+    lam = model.lam
+    periods = [lam / r for r in rates]
+    seg, acc, charge, schedule, pop_due, token = _slot_machinery(
+        trace.span, rates
+    )
+    renewed_once: dict[int, bool] = {}
+    transfer = 0.0
+    n_transfers = 0
+
+    def drop(server: int, when: float) -> None:
+        charge(server, seg.pop(server), when)
+        token.pop(server, None)
+
+    def expire(server: int, when: float) -> None:
+        nonlocal transfer, n_transfers
+        only_copy = len(seg) == 1
+        if server == 0:
+            if only_copy:
+                schedule(0, when + periods[0])
+            else:
+                drop(0, when)
+            return
+        if not only_copy:
+            drop(server, when)
+            return
+        if not renewed_once.get(server, False):
+            renewed_once[server] = True
+            schedule(server, when + periods[server])
+        else:
+            # second consecutive expiry: ship the object to server 0
+            transfer += lam
+            n_transfers += 1
+            seg[0] = when
+            drop(server, when)
+            renewed_once[server] = False
+            schedule(0, when + periods[0])
+
+    seg[0] = 0.0
+    renewed_once[0] = False
+    schedule(0, periods[0])
+
+    times = trace.times.tolist()
+    servers = trace.servers.tolist()
+    for i in range(len(times)):
+        t = times[i]
+        j = servers[i]
+        while True:
+            due = pop_due(t, False)
+            if due is None:
+                break
+            w, s = due
+            if s in seg:
+                expire(s, w)
+        if j in seg:
+            charge(j, seg[j], t)  # renew_copy closes the previous period
+            seg[j] = t
+        else:
+            transfer += lam
+            n_transfers += 1
+            seg[j] = t
+        renewed_once[j] = False
+        schedule(j, t + periods[j])
+
+    if drain:
+        _drain_expiries(pop_due, expire, seg, trace.n, drain_event_cap)
+
+    t_m = trace.span
+    for s, start in seg.items():
+        charge(s, start, t_m)
+    return acc["storage"], transfer, n_transfers
+
+
+# ----------------------------------------------------------------------
+# registry and selection
+# ----------------------------------------------------------------------
+_ENGINES: dict[str, Engine] = {
+    "reference": ReferenceEngine(),
+    "fast": FastCostEngine(),
+}
+
+#: valid names for CLI flags and engine= parameters
+ENGINE_NAMES: tuple[str, ...] = ("auto", "fast", "reference")
+
+
+def get_engine(name: str | Engine) -> Engine:
+    """Resolve an engine instance from a name (``"fast"``/``"reference"``)."""
+    if isinstance(name, Engine):
+        return name
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {sorted(_ENGINES)} or 'auto'"
+        ) from None
+
+
+def select_engine(
+    trace: Trace,
+    model: CostModel,
+    policy: ReplicationPolicy,
+    engine: str | Engine = "auto",
+) -> Engine:
+    """Pick the engine for one run.
+
+    ``"auto"`` selects the fast cost-only engine whenever it supports the
+    policy (see the module docstring), else the reference engine.  A
+    concrete name or :class:`Engine` instance is returned as-is — callers
+    that need telemetry must pass ``"reference"`` explicitly.
+    """
+    if engine == "auto":
+        fast = _ENGINES["fast"]
+        if fast.supports(trace, model, policy):
+            return fast
+        return _ENGINES["reference"]
+    return get_engine(engine)

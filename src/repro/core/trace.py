@@ -94,26 +94,27 @@ class Trace:
             else:
                 t, s = r
                 normalized.append(Request(float(t), int(s), i + 1))
-        prev = 0.0
-        for r in normalized:
-            if r.time <= prev:
-                raise TraceError(
-                    "request times must be strictly increasing and > 0 "
-                    f"(violation at index {r.index}: {r.time} <= {prev})"
-                )
-            if r.server >= n:
+        times = np.array([r.time for r in normalized], dtype=float)
+        servers = np.array([r.server for r in normalized], dtype=np.int64)
+        if len(normalized):
+            prevs = np.concatenate(([0.0], times[:-1]))
+            bad = (times <= prevs) | (servers >= n)
+            if bad.any():
+                k = int(np.argmax(bad))
+                r = normalized[k]
+                prev = normalized[k - 1].time if k else 0.0
+                if r.time <= prev:
+                    raise TraceError(
+                        "request times must be strictly increasing and > 0 "
+                        f"(violation at index {r.index}: {r.time} <= {prev})"
+                    )
                 raise TraceError(
                     f"request {r.index} at server {r.server} but n={n}"
                 )
-            prev = r.time
         object.__setattr__(self, "n", int(n))
         object.__setattr__(self, "requests", tuple(normalized))
-        object.__setattr__(
-            self, "_times", np.array([r.time for r in normalized], dtype=float)
-        )
-        object.__setattr__(
-            self, "_servers", np.array([r.server for r in normalized], dtype=np.int64)
-        )
+        object.__setattr__(self, "_times", times)
+        object.__setattr__(self, "_servers", servers)
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -202,14 +203,17 @@ class Trace:
         """For each request, the arrival time of the next request at the
         same server (``inf`` if none).  Index 0 of the returned list
         corresponds to the dummy request ``r_0``."""
-        seq = self.with_dummy()
-        nxt = [float("inf")] * len(seq)
-        last_pos: dict[int, int] = {}
-        for pos, r in enumerate(seq):
-            if r.server in last_pos:
-                nxt[last_pos[r.server]] = r.time
-            last_pos[r.server] = pos
-        return nxt
+        m1 = len(self.requests) + 1
+        sd = np.concatenate(([0], self._servers))
+        td = np.concatenate(([0.0], self._times))
+        # stable sort by server keeps arrival order within each server, so
+        # consecutive equal-server positions are local successors
+        order = np.argsort(sd, kind="stable")
+        s_sorted = sd[order]
+        nxt = np.full(m1, np.inf)
+        same = s_sorted[1:] == s_sorted[:-1]
+        nxt[order[:-1][same]] = td[order[1:][same]]
+        return nxt.tolist()
 
     def slice_time(self, t_start: float, t_end: float) -> "Trace":
         """Sub-trace of requests with ``t_start < t <= t_end``.
@@ -228,10 +232,12 @@ class Trace:
 
     def count_in_window(self, server: int, t_start: float, t_end: float) -> int:
         """Number of requests at ``server`` with ``t_start < t <= t_end``."""
-        return sum(
-            1
-            for r in self.requests
-            if r.server == server and t_start < r.time <= t_end
+        return int(
+            np.count_nonzero(
+                (self._servers == server)
+                & (self._times > t_start)
+                & (self._times <= t_end)
+            )
         )
 
     # ------------------------------------------------------------------

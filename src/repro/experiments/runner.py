@@ -34,7 +34,7 @@ from typing import Any, Mapping, Sequence
 
 from ..analysis.sweep import SweepPoint, SweepResult, algorithm1_factory
 from ..core.costs import CostModel
-from ..core.simulator import simulate
+from ..core.engine import Engine, select_engine
 from ..core.trace import Trace
 from ..offline.dp import optimal_cost
 from .cache import NullCache, ResultCache, trace_digest
@@ -182,11 +182,15 @@ def _sim_chunk_task(
     ctx = _ctx()
     scenario: Scenario = ctx["scenario"]
     traces: dict[tuple, Trace] = ctx["traces"]
+    engine = ctx.get("engine", "auto")
     out: list[tuple[int, float]] = []
     for index, trace_key, lam, alpha, accuracy, seed in chunk:
         trace = traces[trace_key]
         policy = scenario.policy_factory(trace, lam, alpha, accuracy, seed)
-        run = simulate(trace, CostModel(lam=lam, n=trace.n), policy)
+        model = CostModel(lam=lam, n=trace.n)
+        run = select_engine(trace, model, policy, engine).run(
+            trace, model, policy
+        )
         out.append((index, run.total_cost))
     return out
 
@@ -196,12 +200,15 @@ def _fleet_chunk_task(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
     specs = ctx["specs"]
     n: int = ctx["n"]
     compute_optimal: bool = ctx["compute_optimal"]
+    engine = ctx.get("engine", "reference")
     out = []
     for i in indices:
         spec = specs[i]
         model = CostModel(lam=spec.lam, n=n)
         policy = spec.policy_factory(spec.trace, model)
-        result = simulate(spec.trace, model, policy)
+        result = select_engine(spec.trace, model, policy, engine).run(
+            spec.trace, model, policy
+        )
         opt = optimal_cost(spec.trace, model) if compute_optimal else 0.0
         out.append((i, result, opt))
     return out
@@ -299,6 +306,12 @@ class ExperimentRunner:
         worker busy while amortising pickling.
     progress:
         A :class:`~.progress.ProgressReporter`; defaults to silent.
+    engine:
+        Simulation engine for grid cells: ``"auto"`` (default) runs the
+        cost-only fast engine whenever the policy is fast-path eligible
+        and the reference engine otherwise; ``"fast"``/``"reference"``
+        force one engine.  Results are identical across engines, so the
+        result cache is shared between them.
     """
 
     def __init__(
@@ -307,6 +320,7 @@ class ExperimentRunner:
         cache: ResultCache | None = None,
         chunk_size: int | None = None,
         progress: ProgressReporter | None = None,
+        engine: str | Engine = "auto",
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -314,6 +328,7 @@ class ExperimentRunner:
         self.cache = cache if cache is not None else NullCache()
         self.chunk_size = chunk_size
         self.progress = progress if progress is not None else NullProgress()
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def run(self, scenario: str | Scenario) -> ExperimentResult:
@@ -331,6 +346,7 @@ class ExperimentRunner:
         factory: PolicyFactory = algorithm1_factory,
         seed: int = 0,
         optimal_cache: dict[float, float] | None = None,
+        engine: str | Engine | None = None,
     ) -> SweepResult:
         """Drop-in parallel equivalent of the serial ``sweep_grid`` loop.
 
@@ -357,14 +373,20 @@ class ExperimentRunner:
             scenario,
             optimal_cache=optimal_cache,
             sim_cache=self.cache if salt is not None else NullCache(),
+            engine=engine,
         )
         return result.sweep_result(seed)
 
-    def run_fleet(self, system, compute_optimal: bool = True):
+    def run_fleet(
+        self, system, compute_optimal: bool = True, engine: str | Engine = "reference"
+    ):
         """Parallel equivalent of ``MultiObjectSystem.run``.
 
         Object results are not cached (policy factories of ad-hoc specs
-        have no stable identity); parallelism and progress only.
+        have no stable identity); parallelism and progress only.  The
+        default engine stays ``"reference"`` because fleet reports expose
+        full per-object simulation results (serves, logs); pass
+        ``"auto"``/``"fast"`` for cost-only fleets.
         """
         from ..system.multi_object import FleetReport, ObjectOutcome
 
@@ -376,6 +398,7 @@ class ExperimentRunner:
             "specs": specs,
             "n": system.n,
             "compute_optimal": bool(compute_optimal),
+            "engine": engine,
         }
         chunks = _chunked(list(range(len(specs))), self._chunk_size(len(specs)))
         self.progress.start(len(specs), label="fleet")
@@ -403,9 +426,12 @@ class ExperimentRunner:
         scenario: Scenario,
         optimal_cache: dict[float, float] | None = None,
         sim_cache: ResultCache | NullCache | None = None,
+        engine: str | Engine | None = None,
     ) -> ExperimentResult:
         if sim_cache is None:
             sim_cache = self.cache
+        if engine is None:
+            engine = self.engine
         t0 = time.perf_counter()
         jobs = _enumerate_jobs(scenario)
         out = ExperimentResult(
@@ -423,7 +449,7 @@ class ExperimentRunner:
                 traces[job.trace_key] = tr
                 digests[job.trace_key] = trace_digest(tr)
 
-        context = {"scenario": scenario, "traces": traces}
+        context = {"scenario": scenario, "traces": traces, "engine": engine}
         opts: dict[tuple[tuple, float], float] = {}
         online: dict[int, tuple[float, bool]] = {}
 

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.costs import CostModel
 from ..core.trace import Trace
 
@@ -76,75 +78,140 @@ def optimal_cost(trace: Trace, model: CostModel) -> float:
     Storage is accounted over ``[0, t_m]`` and each transfer costs
     ``lambda`` — the same conventions as the simulator, so online/optimal
     ratios are directly comparable.
+
+    The scan inputs (dummy-prefixed times, next-local times, per-gap and
+    per-keep storage charges) are prepared as vectorized numpy arrays in
+    one pass; the sequential frontier walk then maintains the DP state as
+    a Pareto front sorted by expiry — larger ``E`` costs strictly more —
+    merged in O(frontier) per request with *exact* dominance pruning (a
+    state with smaller-or-equal expiry and greater-or-equal cost can
+    never beat its dominator on any suffix, so dropping it is lossless,
+    unlike the older tolerance-based prune).
     """
-    seq, nxt, rate = _prepare(trace, model)
+    if model.n != trace.n:
+        raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
+    if not model.uniform_storage:
+        raise ValueError(
+            "optimal_cost assumes uniform storage rates (the paper's "
+            "setting); use brute_force for small non-uniform instances"
+        )
+    rate = model.storage_rates[0]
     lam = model.lam
-    m = len(seq) - 1
+    m = len(trace)
     if m == 0:
         return 0.0
+    inf = float("inf")
+
+    # vectorized scan inputs (numpy), consumed as plain lists in the walk
+    times_arr = np.concatenate(([0.0], trace.times))
+    nxt_arr = np.asarray(trace.next_local_time(), dtype=float)
+    gap_costs = (np.diff(times_arr) * rate).tolist()   # bridging charge per gap
+    keep_costs = ((nxt_arr - times_arr) * rate).tolist()  # keep charge per request
+    times = times_arr.tolist()
+    nxt = nxt_arr.tolist()
 
     # base cost: the first request at every server other than server 0 is
     # necessarily served by a transfer (no earlier local copy can exist)
-    seen = {0}
+    servers = trace.servers
+    n_first = len(np.unique(servers[servers != 0]))
     base = 0.0
-    for r in seq[1:]:
-        if r.server not in seen:
-            base += lam
-            seen.add(r.server)
+    for _ in range(n_first):
+        base += lam
 
-    # DP over requests; state = latest expiry among open kept intervals
-    # states: dict E -> best cost (E = -inf when nothing is open)
-    NEG = float("-inf")
-    states: dict[float, float] = {}
+    # Pareto front over states (E = latest expiry among open kept
+    # intervals, -inf when none): Es strictly descending, cs strictly
+    # descending (a larger E is only worth carrying at a higher cost).
+    Es = [-inf]
+    cs = [0.0]
 
-    def decide(i: int, cur: dict[float, float]) -> dict[float, float]:
-        """Apply the keep/skip decision of request i to all states."""
-        t_i = seq[i].time
+    for i in range(m + 1):
+        if i:
+            # bridging charge for states whose open intervals do not span
+            # the gap (E < t_i - eps); they form a suffix of the front
+            thresh = times[i] - _EPS
+            if Es[-1] < thresh:
+                g = gap_costs[i - 1]
+                lo, hi = 0, len(Es)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if Es[mid] >= thresh:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                new_E = Es[:lo]
+                new_c = cs[:lo]
+                best = new_c[-1] if new_c else inf
+                for j in range(lo, len(Es)):
+                    c = cs[j] + g
+                    if c < best:
+                        new_E.append(Es[j])
+                        new_c.append(c)
+                        best = c
+                Es, cs = new_E, new_c
+
         nl = nxt[i]
-        out: dict[float, float] = {}
-        for E, c in cur.items():
-            if nl != float("inf"):
-                # keep: pay storage for (t_i, next local request)
-                kE = max(E, nl)
-                kc = c + (nl - t_i) * rate
-                if kc < out.get(kE, float("inf")):
-                    out[kE] = kc
-                # skip: the next local request will pay a transfer
-                sc = c + lam
-                if sc < out.get(E, float("inf")):
-                    out[E] = sc
+        if nl == inf:
+            continue  # last local request: no keep interval to open
+        K = keep_costs[i]
+
+        # keep branch: (max(E, nl), c + K) — entries with E <= nl collapse
+        # onto E = nl at the front's minimum (= last) cost; skip branch:
+        # (E, c + lam).  Both branches inherit the front's sort order, so
+        # one linear merge with exact dominance filtering rebuilds it.
+        n_states = len(Es)
+        lo, hi = 0, n_states
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if Es[mid] > nl:
+                lo = mid + 1
             else:
-                if c < out.get(E, float("inf")):
-                    out[E] = c
-        return _prune(out)
+                hi = mid
+        split = lo
+        collapse = split < n_states
+        k_total = split + 1 if collapse else split
+        ck_last = cs[-1] + K if collapse else 0.0
 
-    states = decide(0, {NEG: 0.0})
-    for i in range(1, m + 1):
-        t_prev = seq[i - 1].time
-        t_i = seq[i].time
-        gap = t_i - t_prev
-        # bridging charge when no open kept interval spans the gap
-        moved: dict[float, float] = {}
-        for E, c in states.items():
-            cc = c if E >= t_i - _EPS else c + gap * rate
-            if cc < moved.get(E, float("inf")):
-                moved[E] = cc
-        states = decide(i, moved)
+        out_E: list[float] = []
+        out_c: list[float] = []
+        best = inf
+        a = 0
+        b = 0
+        while True:
+            if a < k_total and b < n_states:
+                kE = Es[a] if a < split else nl
+                sE = Es[b]
+                if kE > sE:
+                    E = kE
+                    c = cs[a] + K if a < split else ck_last
+                    a += 1
+                elif sE > kE:
+                    E = sE
+                    c = cs[b] + lam
+                    b += 1
+                else:
+                    c1 = cs[a] + K if a < split else ck_last
+                    c2 = cs[b] + lam
+                    E = kE
+                    c = c1 if c1 < c2 else c2
+                    a += 1
+                    b += 1
+            elif a < k_total:
+                E = Es[a] if a < split else nl
+                c = cs[a] + K if a < split else ck_last
+                a += 1
+            elif b < n_states:
+                E = Es[b]
+                c = cs[b] + lam
+                b += 1
+            else:
+                break
+            if c < best:
+                out_E.append(E)
+                out_c.append(c)
+                best = c
+        Es, cs = out_E, out_c
 
-    return base + min(states.values())
-
-
-def _prune(states: dict[float, float]) -> dict[float, float]:
-    """Drop dominated states (larger-or-equal E with smaller-or-equal cost
-    dominates)."""
-    items = sorted(states.items(), key=lambda kv: -kv[0])  # E descending
-    out: dict[float, float] = {}
-    best = float("inf")
-    for E, c in items:
-        if c < best - 1e-15:
-            out[E] = c
-            best = c
-    return out
+    return base + cs[-1]
 
 
 def optimal_schedule(trace: Trace, model: CostModel) -> tuple[float, list[OfflineDecision]]:

@@ -22,6 +22,7 @@ from .oracle import (
     OraclePredictor,
     ground_truth_within,
 )
+from .stream import PredictionStream, truth_within_array
 
 __all__ = [
     "Predictor",
@@ -33,6 +34,8 @@ __all__ = [
     "AdversarialPredictor",
     "FixedPredictor",
     "ground_truth_within",
+    "PredictionStream",
+    "truth_within_array",
     "EwmaPredictor",
     "LastGapPredictor",
     "SlidingWindowPredictor",

@@ -44,6 +44,7 @@ class _TraceBacked(Predictor):
     """Shared machinery: per-server sorted arrival times from the trace."""
 
     def __init__(self, trace: Trace):
+        self._trace = trace  # retained so PredictionStream can verify provenance
         self._times = trace.per_server_times()
 
     def _truth(self, server: int, time: float, lam: float) -> bool:
@@ -81,6 +82,7 @@ class NoisyOraclePredictor(_TraceBacked):
         if not 0.0 <= accuracy <= 1.0:
             raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
         self.accuracy = float(accuracy)
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
         self._memo: dict[tuple[int, float], bool] = {}
         self.name = f"noisy-oracle(p={accuracy:g})"

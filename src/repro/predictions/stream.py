@@ -1,0 +1,166 @@
+"""Precomputed prediction streams for the fast simulation engines.
+
+The incremental predictors in :mod:`repro.predictions.oracle` answer one
+query at a time (a bisect over per-server arrival times, plus a lazy RNG
+draw for the noisy oracle).  The paper's algorithms consume predictions
+in a rigid pattern — exactly one query per request, in global request
+order, starting with the dummy request ``r_0`` — so the whole stream can
+be materialised up front as a boolean array and indexed by
+``request.index`` in O(1).
+
+:class:`PredictionStream` does that materialisation with vectorized
+numpy operations.  Two equivalence guarantees make it a drop-in for the
+fast engine:
+
+* the ground truth ``next_local_arrival <= t + lam`` is evaluated with
+  the same scalar IEEE operations as the incremental ``bisect`` path;
+* noisy-oracle correctness flips are drawn as one batched
+  ``Generator.random(m + 1)`` call, which produces **bit-identical**
+  doubles to ``m + 1`` successive ``Generator.random()`` calls from the
+  same seed — the draw order of the incremental memoised path.
+
+Streams cover the trace-backed predictor family (oracle, noisy oracle,
+adversarial) plus constant predictions.  History-based predictors
+(sliding window, Markov, EWMA, ensembles) observe requests one at a
+time and are deliberately *not* streamable; policies using them fall
+back to the reference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.trace import Trace
+from .oracle import (
+    AdversarialPredictor,
+    FixedPredictor,
+    NoisyOraclePredictor,
+    OraclePredictor,
+)
+
+__all__ = ["PredictionStream", "truth_within_array"]
+
+
+def truth_within_array(trace: Trace, lam: float) -> np.ndarray:
+    """Vectorized ground truth for every prediction query of a run.
+
+    Entry ``i`` answers the query issued immediately after request
+    ``r_i`` (``i = 0`` is the dummy request at server 0, time 0): does
+    the next request at the same server arrive within ``lam``?  Matches
+    :func:`repro.predictions.oracle.ground_truth_within` query by query,
+    including the "no further request means beyond" convention.
+    """
+    nxt = np.asarray(trace.next_local_time(), dtype=float)
+    times = np.concatenate(([0.0], trace.times))
+    # identical scalar comparison to the bisect path: times[i] <= time + lam
+    return nxt <= times + lam
+
+
+@dataclass(frozen=True)
+class PredictionStream:
+    """One boolean prediction per request index, precomputed.
+
+    ``within[i]`` is the prediction consumed right after serving request
+    ``r_i`` (index 0 = dummy request), i.e. the value the incremental
+    predictor would return from ``predict_within(s_i, t_i, lam)``.
+    """
+
+    within: np.ndarray
+    name: str = "stream"
+
+    def __post_init__(self) -> None:
+        # own copy: freezing an aliased caller array would make *their*
+        # object read-only
+        arr = np.array(self.within, dtype=bool)
+        arr.flags.writeable = False
+        object.__setattr__(self, "within", arr)
+
+    def __len__(self) -> int:
+        return len(self.within)
+
+    def __getitem__(self, i: int) -> bool:
+        return bool(self.within[i])
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def oracle(cls, trace: Trace, lam: float) -> "PredictionStream":
+        """Perfect predictions (matches :class:`OraclePredictor`)."""
+        return cls(truth_within_array(trace, lam), name="oracle")
+
+    @classmethod
+    def noisy_oracle(
+        cls, trace: Trace, lam: float, accuracy: float, seed: int = 0
+    ) -> "PredictionStream":
+        """Ground truth flipped with probability ``1 - accuracy``.
+
+        Bit-identical to a fresh :class:`NoisyOraclePredictor` queried
+        once per request in global order: the batched ``random(m + 1)``
+        call consumes the PCG64 stream exactly as the incremental
+        per-query ``random()`` calls do.
+        """
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        truth = truth_within_array(trace, lam)
+        rng = np.random.default_rng(seed)
+        correct = rng.random(len(truth)) < accuracy
+        return cls(
+            np.where(correct, truth, ~truth),
+            name=f"noisy-oracle(p={accuracy:g})",
+        )
+
+    @classmethod
+    def adversarial(cls, trace: Trace, lam: float) -> "PredictionStream":
+        """Always-wrong predictions (matches :class:`AdversarialPredictor`)."""
+        return cls(~truth_within_array(trace, lam), name="adversarial")
+
+    @classmethod
+    def fixed(cls, trace: Trace, within: bool) -> "PredictionStream":
+        """Constant predictions (matches :class:`FixedPredictor`)."""
+        return cls(
+            np.full(len(trace) + 1, bool(within)),
+            name=f"fixed({'within' if within else 'beyond'})",
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def supports_predictor(cls, predictor, trace: Trace) -> bool:
+        """Whether :meth:`for_predictor` can stream ``predictor`` faithfully.
+
+        Cheap (no arrays are built) — used by engine ``supports`` checks
+        on every auto-selection.  False for unknown/history-based types,
+        trace-backed predictors built from a *different* trace, and a
+        noisy oracle that has already answered queries (its RNG position
+        is no longer the fresh-seed state).
+        """
+        kind = type(predictor)
+        if kind is FixedPredictor:
+            return True
+        if kind in (OraclePredictor, NoisyOraclePredictor, AdversarialPredictor):
+            src = getattr(predictor, "_trace", None)
+            if src is not trace and src != trace:
+                return False
+            if kind is NoisyOraclePredictor and predictor._memo:
+                return False
+            return True
+        return False
+
+    @classmethod
+    def for_predictor(
+        cls, predictor, trace: Trace, lam: float
+    ) -> "PredictionStream | None":
+        """The stream equivalent to ``predictor`` on ``trace``, or None
+        when the predictor fails :meth:`supports_predictor`."""
+        if not cls.supports_predictor(predictor, trace):
+            return None
+        kind = type(predictor)
+        if kind is FixedPredictor:
+            return cls.fixed(trace, predictor.within)
+        if kind is OraclePredictor:
+            return cls.oracle(trace, lam)
+        if kind is AdversarialPredictor:
+            return cls.adversarial(trace, lam)
+        return cls.noisy_oracle(trace, lam, predictor.accuracy, predictor.seed)

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..core.costs import CostModel
+from ..core.engine import CostResult, Engine, select_engine
 from ..core.policy import ReplicationPolicy
-from ..core.simulator import SimulationResult, simulate
+from ..core.simulator import SimulationResult
 from ..core.trace import Trace, TraceError
 from ..offline.dp import optimal_cost
 
@@ -63,10 +64,14 @@ class ObjectSpec:
 
 @dataclass(frozen=True)
 class ObjectOutcome:
-    """Result of one object's simulation plus its offline optimum."""
+    """Result of one object's simulation plus its offline optimum.
+
+    ``result`` is a full :class:`SimulationResult` under the reference
+    engine, or a cost-only :class:`CostResult` under the fast engine.
+    """
 
     object_id: str
-    result: SimulationResult
+    result: SimulationResult | CostResult
     optimal: float
 
     @property
@@ -148,21 +153,37 @@ class MultiObjectSystem:
                     f"object {s.object_id}: trace.n={s.trace.n} != system n={n}"
                 )
 
-    def run(self, compute_optimal: bool = True, runner=None) -> FleetReport:
+    def run(
+        self,
+        compute_optimal: bool = True,
+        runner=None,
+        engine: str | Engine = "reference",
+    ) -> FleetReport:
         """Simulate every object; optionally skip the offline optima.
 
         ``runner`` may be an :class:`repro.experiments.ExperimentRunner`;
         per-object simulations then run across its worker processes with
         results identical to the serial path (objects are independent).
         The default preserves serial execution.
+
+        ``engine`` selects the simulation engine per object.  The default
+        ``"reference"`` keeps full per-object telemetry in the report
+        (serves, event logs, copy records); ``"auto"``/``"fast"`` runs
+        cost-only where the policy is fast-path eligible — outcomes then
+        carry a :class:`~repro.core.engine.CostResult` with identical
+        costs but no telemetry.
         """
         if runner is not None:
-            return runner.run_fleet(self, compute_optimal=compute_optimal)
+            return runner.run_fleet(
+                self, compute_optimal=compute_optimal, engine=engine
+            )
         report = FleetReport()
         for spec in self.specs:
             model = CostModel(lam=spec.lam, n=self.n)
             policy = spec.policy_factory(spec.trace, model)
-            result = simulate(spec.trace, model, policy)
+            result = select_engine(spec.trace, model, policy, engine).run(
+                spec.trace, model, policy
+            )
             opt = optimal_cost(spec.trace, model) if compute_optimal else 0.0
             report.outcomes.append(
                 ObjectOutcome(spec.object_id, result, opt)
