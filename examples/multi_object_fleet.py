@@ -8,8 +8,16 @@ the whole fleet through :class:`repro.system.MultiObjectSystem` with a
 weighted-majority ensemble of learned predictors per object, and reports
 per-object and fleet-level competitive ratios.
 
-Run:  python examples/multi_object_fleet.py
+Run:  python examples/multi_object_fleet.py [--engine auto|reference]
+
+The learned ensembles observe requests one at a time, so they are never
+streamable and ``auto`` falls back to the reference engine per object.
+(The strict ``fast``/``batch`` engines would refuse them outright;
+they become useful when you swap in oracle/noisy/fixed predictors and
+want cost-only fleets.)
 """
+
+import argparse
 
 import numpy as np
 
@@ -38,6 +46,16 @@ def ensemble_factory(alpha: float):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine", choices=("auto", "reference"), default="reference",
+        help="simulation engine for per-object runs (default: reference, "
+        "which keeps full telemetry in the report; the ensembles here "
+        "are not streamable, so the strict fast/batch engines would "
+        "refuse them)",
+    )
+    args = parser.parse_args()
+
     n = 10
     rng = np.random.default_rng(7)
     specs = []
@@ -71,7 +89,7 @@ def main() -> None:
         )
 
     system = MultiObjectSystem(n, specs)
-    report = system.run()
+    report = system.run(engine=args.engine)
     print(report.summary_table())
     print(
         f"\nfleet-level ratio {report.fleet_ratio:.3f}; worst object "

@@ -46,6 +46,7 @@ from .analysis import (
     sweep_grid,
 )
 from .core import (
+    BatchCostEngine,
     CostLedger,
     CostModel,
     CostResult,
@@ -63,6 +64,7 @@ from .core import (
     Trace,
     TraceError,
     get_engine,
+    run_slab,
     select_engine,
     simulate,
 )
@@ -128,9 +130,11 @@ __all__ = [
     "Engine",
     "EngineError",
     "CostResult",
+    "BatchCostEngine",
     "FastCostEngine",
     "ReferenceEngine",
     "get_engine",
+    "run_slab",
     "select_engine",
     "PredictionStream",
     # algorithms

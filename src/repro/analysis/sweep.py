@@ -16,7 +16,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.costs import CostModel
-from ..core.engine import Engine, select_engine
+from ..core.engine import Engine, run_slab
 from ..core.policy import ReplicationPolicy
 from ..core.trace import Trace
 from ..offline.dp import optimal_cost
@@ -151,13 +151,15 @@ def sweep_grid(
     caching if the runner has a cache) and yields bit-identical results
     to this serial path.  The default preserves serial execution.
 
-    ``engine`` selects the simulation engine per cell; the default
-    (``None``) means ``"auto"`` — the cost-only fast engine whenever the
-    factory's policy is fast-path eligible (grid cells consume only
-    ``total_cost``), the reference engine otherwise — or, with a
-    ``runner``, whatever engine the runner was configured with.  Results
-    are identical either way; pass ``"reference"`` to force the
-    full-telemetry simulator.
+    ``engine`` selects the simulation engine; the default (``None``)
+    means ``"auto"`` — each ``(trace, lambda)``'s whole slab of
+    ``(alpha, accuracy)`` cells runs in one vectorized pass on the batch
+    engine when the factory's policies are fast-path eligible (grid
+    cells consume only ``total_cost``), per-cell on the fast or
+    reference engine otherwise — or, with a ``runner``, whatever engine
+    the runner was configured with.  Per-cell results are bit-identical
+    across engines; pass ``"reference"`` to force the full-telemetry
+    simulator.
     """
     if runner is not None:
         return runner.run_grid(
@@ -174,26 +176,25 @@ def sweep_grid(
         engine = "auto"
     result = SweepResult()
     opt_cache = optimal_cache if optimal_cache is not None else {}
+    # one slab per lambda: every (alpha, accuracy) cell shares the trace
+    # and cost model, which is exactly the batch engine's unit of work
+    cells = [(alpha, acc, seed) for alpha in alphas for acc in accuracies]
     for lam in lambdas:
         model = CostModel(lam=lam, n=trace.n)
         if lam not in opt_cache:
             opt_cache[lam] = optimal_cost(trace, model)
         opt = opt_cache[lam]
-        for alpha in alphas:
-            for acc in accuracies:
-                policy = factory(trace, lam, alpha, acc, seed)
-                run = select_engine(trace, model, policy, engine).run(
-                    trace, model, policy
+        runs = run_slab(trace, model, cells, factory, engine=engine)
+        for (alpha, acc, _), run in zip(cells, runs):
+            result.add(
+                SweepPoint(
+                    lam=lam,
+                    alpha=alpha,
+                    accuracy=acc,
+                    online_cost=run.total_cost,
+                    optimal_cost=opt,
                 )
-                result.add(
-                    SweepPoint(
-                        lam=lam,
-                        alpha=alpha,
-                        accuracy=acc,
-                        online_cost=run.total_cost,
-                        optimal_cost=opt,
-                    )
-                )
+            )
     return result
 
 

@@ -45,6 +45,7 @@ from .analysis.sweep import (
 )
 from .analysis.theory import consistency_bound, robustness_bound
 from .core import CostModel, simulate
+from .core.engine import ENGINE_NAMES
 from .offline import optimal_cost
 from .predictions import FixedPredictor, NoisyOraclePredictor, OraclePredictor
 from .workloads import (
@@ -78,11 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="6x6 grid instead of the paper's 11x11")
     s.add_argument("--heatmap", action="store_true",
                    help="also render an ASCII heat map per lambda")
-    s.add_argument("--engine", choices=("auto", "fast", "reference"),
+    s.add_argument("--engine", choices=ENGINE_NAMES,
                    default="auto",
-                   help="simulation engine: 'fast' = cost-only slot-state "
-                   "replay, 'reference' = full-telemetry event loop, "
-                   "'auto' (default) = fast when eligible")
+                   help="simulation engine: 'batch' = one vectorized pass "
+                   "per (trace, lambda) slab, 'fast' = cost-only "
+                   "slot-state replay per cell, 'reference' = "
+                   "full-telemetry event loop, 'auto' (default) = batch "
+                   "for eligible slabs, fast for single runs")
 
     a = sub.add_parser("adaptive", help="Figures 29-32 grid")
     a.add_argument("--lambda", dest="lam", type=float, default=1000.0)
@@ -124,9 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="subsample every grid axis to at most 3 values")
     er.add_argument("--quiet", action="store_true",
                     help="suppress incremental progress output")
-    er.add_argument("--engine", choices=("auto", "fast", "reference"),
+    er.add_argument("--engine", choices=ENGINE_NAMES,
                     default="auto",
-                    help="simulation engine for grid cells (default: auto)")
+                    help="simulation engine for grid cells (default: auto "
+                    "= batched slab passes where eligible)")
     return p
 
 

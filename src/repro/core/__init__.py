@@ -3,12 +3,14 @@
 from .costs import CostLedger, CostModel
 from .engine import (
     ENGINE_NAMES,
+    BatchCostEngine,
     CostResult,
     Engine,
     EngineError,
     FastCostEngine,
     ReferenceEngine,
     get_engine,
+    run_slab,
     select_engine,
 )
 from .events import Event, EventKind, EventLog
@@ -31,9 +33,11 @@ __all__ = [
     "EngineError",
     "ENGINE_NAMES",
     "CostResult",
+    "BatchCostEngine",
     "FastCostEngine",
     "ReferenceEngine",
     "get_engine",
+    "run_slab",
     "select_engine",
     "Event",
     "EventKind",

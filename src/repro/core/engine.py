@@ -70,6 +70,37 @@ the reference engine.  ``sweep_grid`` and ``ExperimentRunner`` default
 to ``"auto"`` because grid cells consume only costs;
 ``MultiObjectSystem.run`` defaults to ``"reference"`` because its
 :class:`FleetReport` exposes full per-object results.
+
+The batch tier: one trace pass per slab
+---------------------------------------
+The paper's grids evaluate hundreds of cells ``(alpha, accuracy, seed)``
+that share one ``(trace, lambda)``; the fast engine still replays the
+trace once *per cell*.  :class:`BatchCostEngine` replays it once *per
+slab*: per-server slot state becomes ``(n_servers, n_cells)`` NumPy
+arrays, the expiry heap becomes per-server due-time columns (each server
+holds at most one live heap entry, so a ``(n_servers, n_cells)`` due
+matrix plus an argmin over servers reproduces the ``(time, server,
+token)`` pop order exactly), and dict insertion order is tracked with a
+per-cell insertion counter so finalization walks live copies in the
+identical sequence.  Every per-cell floating-point operation — the
+``(min(end, t_m) - min(start, t_m)) * rate`` storage charges, the
+repeated ``+= lambda`` transfer additions, the single ``alpha * lambda``
+duration product — is the same IEEE double op the scalar replay
+performs, in the same order, so per-cell batch costs are bit-identical
+to :class:`FastCostEngine` (and hence to the reference simulator).
+
+Wang and the conventional baseline are prediction-free within a slab
+(Wang ignores predictions entirely; conventional pins the duration to
+``lambda``), so their slabs reduce to one scalar fast replay broadcast
+across the cells.
+
+``select_engine(..., slab_size=k)`` encodes the selection rule:
+``"auto"`` returns the batch engine when the caller holds a slab of
+``k > 1`` eligible cells, the fast engine for single eligible runs, and
+the reference engine otherwise.  :func:`run_slab` is the module-level
+dispatcher the sweep and experiment layers use: it batches whole slabs
+when eligible and falls back to bit-identical per-cell execution when
+not.
 """
 
 from __future__ import annotations
@@ -78,6 +109,9 @@ import abc
 import heapq
 import itertools
 from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
 
 from .costs import CostModel
 from .policy import PolicyError, ReplicationPolicy
@@ -89,10 +123,12 @@ __all__ = [
     "EngineError",
     "ReferenceEngine",
     "FastCostEngine",
+    "BatchCostEngine",
     "CostResult",
     "ENGINE_NAMES",
     "get_engine",
     "select_engine",
+    "run_slab",
 ]
 
 
@@ -501,15 +537,535 @@ def _fast_wang(
 
 
 # ----------------------------------------------------------------------
+# batched slab kernel
+#
+# One trace pass evaluates every cell of a slab.  The cell axis is the
+# second array dimension throughout; every statement below performs, per
+# cell, exactly the scalar operation _fast_algorithm1 performs at the
+# same moment (see the module DESIGN docstring for the bit-identity
+# argument).
+# ----------------------------------------------------------------------
+
+_NO_ORDER = np.iinfo(np.int64).max  # insertion-order slot for dead copies
+
+
+def _batch_algorithm1(
+    trace: Trace,
+    model: CostModel,
+    alphas: np.ndarray,
+    pred: np.ndarray,
+    drain: bool,
+    drain_event_cap: int | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Replay Algorithm 1 for a whole slab of cells in one trace pass.
+
+    ``alphas`` has shape ``(n_cells,)`` and ``pred`` shape
+    ``(m + 1, n_cells)`` (one prediction column per cell).  Returns
+    ``(storage, transfer, n_transfers)`` arrays whose entry ``c`` is
+    bit-identical to ``_fast_algorithm1(trace, model, alphas[c],
+    pred[:, c], ...)``.
+    """
+    lam = model.lam
+    n = trace.n
+    t_m = trace.span
+    if not model.uniform_storage:
+        raise PolicyError(
+            "Algorithm 1 assumes uniform storage rates (paper Section 2)"
+        )
+    rate = model.storage_rates[0]
+    alphas = np.asarray(alphas, dtype=float)
+    n_cells = alphas.size
+    pred = np.asarray(pred, dtype=bool)
+    if pred.shape != (len(trace) + 1, n_cells):
+        raise ValueError(
+            f"prediction matrix must be (m + 1, n_cells) = "
+            f"({len(trace) + 1}, {n_cells}), got {pred.shape}"
+        )
+    d_beyond = alphas * lam          # the scalar path's single multiply
+    inf = np.inf
+
+    # NOTE on charges: the scalar path guards every storage charge with
+    # `if e > s`.  Segment starts never exceed their expiry/renewal/
+    # finalize times, so after clipping to t_m the difference `e - s` is
+    # always >= 0 — and adding `0.0 * rate == +0.0` to a non-negative
+    # accumulator is the IEEE identity.  The kernel therefore charges
+    # unconditionally, which is bit-identical and saves the mask work.
+    alive = np.zeros((n, n_cells), dtype=bool)
+    start = np.zeros((n, n_cells), dtype=float)
+    due = np.full((n, n_cells), inf)
+    # dict insertion order == creation order, and each cell creates at
+    # most one copy per request, so the request index serves as the
+    # per-cell insertion counter (the initial copy is order 0)
+    order = np.full((n, n_cells), _NO_ORDER, dtype=np.int64)
+    special = np.full(n_cells, -1, dtype=np.int64)
+    # the two per-cell integer ledgers share one array so the serve step
+    # updates both with a single broadcast add
+    ints = np.zeros((2, n_cells), dtype=np.int64)
+    n_alive = ints[0]
+    n_tx = ints[1]
+    storage = np.zeros(n_cells)
+
+    def expire(fc: np.ndarray, until: float, max_rounds: int | None = None) -> None:
+        """Deliver every due expiry with time < ``until`` among the cell
+        columns ``fc``, one heap pop per cell per round.
+
+        Column subsets stay compressed (integer index arrays) so quiet
+        cells cost nothing; ties pop the lowest server first, matching
+        the scalar ``(time, server, token)`` heap order (``argmin``
+        returns the first minimum).  Rounds run in lockstep — every
+        surviving column pops exactly once per round — so capping the
+        round count at ``max_rounds`` reproduces the scalar drain
+        loop's per-cell fired-event cap exactly.
+        """
+        rounds = 0
+        while max_rounds is None or rounds < max_rounds:
+            if fc is all_cols:
+                wv = due.min(axis=0, out=f3)
+                keep = np.less(wv, until, out=b_keep)
+                fc = keep.nonzero()[0]
+                if not fc.size:
+                    return
+                wv = wv[fc]
+            else:
+                wv = due[:, fc].min(axis=0)
+                keep = wv < until
+                fc, wv = fc[keep], wv[keep]
+                if not fc.size:
+                    return
+            srv = due[:, fc].argmin(axis=0)
+            due[srv, fc] = inf                    # pop the entry
+            last = n_alive[fc] == 1
+            if last.all():
+                # lines 20-25: keep the final copy as the special copy —
+                # the dominant regime.  A single-copy cell holds at most
+                # one due entry (due implies alive), so every fired
+                # column is now dry: no further round can fire.
+                special[fc] = srv
+                return
+            lc = fc[last]
+            special[lc] = srv[last]
+            dropm = ~last
+            dc = fc[dropm]
+            ds = srv[dropm]
+            s_ = np.minimum(start[ds, dc], t_m)
+            e_ = np.minimum(wv[dropm], t_m)
+            storage[dc] += (e_ - s_) * rate
+            alive[ds, dc] = False
+            n_alive[dc] -= 1
+            # only the dropped cells can still hold a due entry < until
+            # (the special-ed cells just popped their only entry), so the
+            # next round's check narrows to them
+            fc = dc
+            rounds += 1
+
+    # per-request schedule rows, precomputed: row i is the scalar path's
+    # t_i + (d_within if pred else d_beyond) for every cell (np.where
+    # selects the operand; the add is the same scalar IEEE add)
+    times = trace.times
+    sched = times[:, None] + np.where(pred[1:], lam, d_beyond)
+
+    # dummy request r_0: initial copy at server 0, duration from pred[0]
+    alive[0, :] = True
+    order[0, :] = 0
+    n_alive[:] = 1
+    due[0, :] = np.where(pred[0], lam, d_beyond)
+
+    all_cols = np.arange(n_cells)
+    times_l = times.tolist()
+    servers_l = trace.servers.tolist()
+    # preallocated full-width work buffers: the serve step runs once per
+    # request, so allocator traffic there dominates the numpy dispatch
+    # overhead this kernel's throughput is made of
+    unit_rate = rate == 1.0
+    f1 = np.empty(n_cells)
+    f2 = np.empty(n_cells)
+    f3 = np.empty(n_cells)
+    b_keep = np.empty(n_cells, dtype=bool)
+    b_miss = np.empty(n_cells, dtype=bool)
+    b_sp = np.empty(n_cells, dtype=bool)
+    b_clear = np.empty(n_cells, dtype=bool)
+    i_src = np.empty(n_cells, dtype=np.intp)
+    # bind ufuncs to locals: the loop body is dispatch-bound
+    np_not, np_and, np_eq = np.logical_not, np.logical_and, np.equal
+    np_min2, np_sub, np_mul = np.minimum, np.subtract, np.multiply
+    np_add, np_copyto = np.add, np.copyto
+    for i in range(len(times_l)):
+        t = times_l[i]
+        j = servers_l[i]
+        expire(all_cols, t)
+        e_t = t if t < t_m else t_m
+        # one unified serve step: read the pre-state fully, then write.
+        # Both branches of the scalar serve set seg[j] = t, so start/alive
+        # rows are written unconditionally; per-cell branch effects ride
+        # on boolean masks (adding a masked-out 0.0 charge, or charging
+        # `(e - s) * 1.0` without the multiply, is the IEEE identity —
+        # see the charge NOTE above).  Requests on which every cell
+        # agrees (all-miss at a cold server, all-renew at a hot one) take
+        # branch-free fast paths.
+        has = alive[j]                     # pre-write view; reads first
+        nh = np.count_nonzero(has)
+        if nh == 0:
+            # every cell transfers from its lowest-indexed live server
+            # (min(seg)); argmax over booleans finds the first live row
+            src = alive.argmax(axis=0, out=i_src)
+            sp = np_eq(special, src, out=b_sp)
+            start[j].fill(t)
+            alive[j].fill(True)
+            order[j].fill(i + 1)           # create appends to the dict
+            np_add(ints, 1, out=ints)      # n_alive and n_tx together
+            if sp.any():
+                # lines 15-19: charge and drop the special source after
+                # the transfer (the destination copy was created above)
+                sc = sp.nonzero()[0]
+                ss = src[sc]
+                s2 = np_min2(start[ss, sc], t_m)
+                if unit_rate:
+                    storage[sc] += e_t - s2
+                else:
+                    storage[sc] += (e_t - s2) * rate
+                alive[ss, sc] = False
+                # a special source holds no due entry (its token was
+                # popped when it became special): no heap cleanup
+                n_alive[sc] -= 1
+                np_copyto(special, -1, where=sp)
+        elif nh == n_cells:
+            # every cell renews its copy period (charge the closed one)
+            clear = np_eq(special, j, out=b_clear)
+            s_ = np_min2(start[j], t_m, out=f1)
+            charge = np_sub(e_t, s_, out=f2)
+            if not unit_rate:
+                np_mul(charge, rate, out=charge)
+            np_add(storage, charge, out=storage)
+            start[j].fill(t)
+            np_copyto(special, -1, where=clear)
+        else:
+            miss = np_not(has, out=b_miss)
+            src = alive.argmax(axis=0, out=i_src)
+            sp = np_eq(special, src, out=b_sp)
+            np_and(sp, miss, out=sp)       # drop the special source
+            clear = np_eq(special, j, out=b_clear)
+            np_and(clear, has, out=clear)  # a renewed special copy
+            s_ = np_min2(start[j], t_m, out=f1)
+            charge = np_sub(e_t, s_, out=f2)
+            if not unit_rate:
+                np_mul(charge, rate, out=charge)
+            np_mul(charge, has, out=charge)    # mask misses to +0.0
+            np_add(storage, charge, out=storage)
+            # writes (scalar order: create/renew seg[j], clear specials,
+            # then drop a charged special source — lines 15-19)
+            start[j].fill(t)
+            alive[j].fill(True)
+            np_copyto(order[j], i + 1, where=miss)  # renew keeps order
+            np_add(ints, miss, out=ints)   # n_alive and n_tx together
+            if sp.any():
+                np.logical_or(clear, sp, out=clear)
+                sc = sp.nonzero()[0]
+                ss = src[sc]
+                s2 = np_min2(start[ss, sc], t_m)
+                if unit_rate:
+                    storage[sc] += e_t - s2
+                else:
+                    storage[sc] += (e_t - s2) * rate
+                alive[ss, sc] = False
+                n_alive[sc] -= 1
+            np_copyto(special, -1, where=clear)
+        due[j, :] = sched[i]
+
+    if drain:
+        # mirror _drain_expiries: every remaining entry is delivered in
+        # heap order up to the per-cell event cap (Algorithm 1 never
+        # reschedules during expiry, so at most n entries fire per cell,
+        # far below the default 4n + 16)
+        cap = drain_event_cap if drain_event_cap is not None else 4 * n + 16
+        expire(all_cols, inf, max_rounds=cap)
+
+    # finalize: charge live copies in per-cell dict insertion order
+    ord_live = np.where(alive, order, _NO_ORDER)
+    for _ in range(n):
+        w = ord_live.min(axis=0)
+        fc = np.nonzero(w < _NO_ORDER)[0]
+        if not fc.size:
+            break
+        fs = ord_live[:, fc].argmin(axis=0)
+        s_ = np.minimum(start[fs, fc], t_m)
+        storage[fc] += (t_m - s_) * rate
+        ord_live[fs, fc] = _NO_ORDER
+
+    # the scalar path accumulates `transfer += lam` once per transfer;
+    # ufunc.accumulate performs the identical left-to-right additions,
+    # so indexing the partial-sum sequence by each cell's transfer count
+    # reproduces the repeated-addition ledger bit for bit
+    max_tx = int(n_tx.max()) if n_cells else 0
+    partial = np.zeros(max_tx + 1)
+    if max_tx:
+        np.add.accumulate(np.full(max_tx, lam), out=partial[1:])
+    transfer = partial[n_tx]
+    return storage, transfer, n_tx
+
+
+#: a slab cell: ``(alpha, accuracy, seed)`` — the grid axes that share
+#: one ``(trace, lambda)``
+SlabCell = tuple[float, float, int]
+
+#: the sweep-layer factory signature: (trace, lam, alpha, accuracy, seed)
+SlabFactory = Callable[[Trace, float, float, float, int], ReplicationPolicy]
+
+
+class BatchCostEngine(Engine):
+    """Cost-only slab replay: every cell of ``(alpha x accuracy x seed)``
+    sharing one ``(trace, lambda)`` in a single vectorized trace pass.
+
+    See the module DESIGN docstring for the bit-identity argument.  The
+    scalar :meth:`run` interface executes a one-column slab, so the
+    engine is a drop-in anywhere a name from :data:`ENGINE_NAMES` is
+    accepted; the throughput win comes from :meth:`run_slab`.
+    """
+
+    name = "batch"
+
+    def supports(
+        self, trace: Trace, model: CostModel, policy: ReplicationPolicy
+    ) -> bool:
+        # cell-wise eligibility is exactly the fast path's
+        return _ENGINES["fast"].supports(trace, model, policy)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Trace,
+        model: CostModel,
+        policy: ReplicationPolicy,
+        drain: bool = True,
+        drain_event_cap: int | None = None,
+    ) -> CostResult:
+        from ..algorithms.conventional import ConventionalReplication
+        from ..algorithms.learning_augmented import LearningAugmentedReplication
+        from ..algorithms.wang import WangReplication
+
+        if model.n != trace.n:
+            raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
+        kind = type(policy)
+        if kind is WangReplication:
+            storage, transfer, n_transfers = _fast_wang(
+                trace, model, drain, drain_event_cap
+            )
+        elif kind in (ConventionalReplication, LearningAugmentedReplication):
+            if not model.uniform_storage:
+                raise PolicyError(
+                    "Algorithm 1 assumes uniform storage rates (paper Section 2)"
+                )
+            stream = FastCostEngine._stream_for(policy, trace, model)
+            if stream is None:
+                raise EngineError(
+                    f"BatchCostEngine cannot stream predictor "
+                    f"{policy.predictor.name!r}; use the reference engine"
+                )
+            s_arr, t_arr, x_arr = _batch_algorithm1(
+                trace,
+                model,
+                np.array([policy.alpha]),
+                stream.within[:, None],
+                drain,
+                drain_event_cap,
+            )
+            storage = float(s_arr[0])
+            transfer = float(t_arr[0])
+            n_transfers = int(x_arr[0])
+        else:
+            raise EngineError(
+                f"BatchCostEngine does not support {kind.__name__}; "
+                "use the reference engine"
+            )
+        return CostResult(
+            trace=trace,
+            model=model,
+            policy_name=policy.name,
+            storage_cost=storage,
+            transfer_cost=transfer,
+            n_transfers=n_transfers,
+            engine="batch",
+        )
+
+    # ------------------------------------------------------------------
+    def supports_slab(
+        self,
+        trace: Trace,
+        model: CostModel,
+        factory: SlabFactory,
+        cells: Sequence[SlabCell],
+    ) -> bool:
+        """Whether :meth:`run_slab` can evaluate this whole slab in one
+        vectorized pass (every cell's policy is the same fast-path
+        eligible family with a streamable predictor)."""
+        return self._slab_plan(trace, model, factory, cells) is not None
+
+    def run_slab(
+        self,
+        trace: Trace,
+        model: CostModel,
+        factory: SlabFactory,
+        cells: Sequence[SlabCell],
+    ) -> list[CostResult]:
+        """Evaluate every cell of a slab in one trace pass.
+
+        Returns one :class:`CostResult` per cell, in cell order, each
+        bit-identical to the fast engine's scalar replay of that cell.
+        """
+        plan = self._slab_plan(trace, model, factory, cells)
+        if plan is None:
+            raise EngineError(
+                "BatchCostEngine cannot evaluate this slab in one pass; "
+                "the module-level run_slab() dispatcher falls back to "
+                "per-cell execution"
+            )
+        return self._run_plan(trace, model, plan)
+
+    def _run_plan(self, trace: Trace, model: CostModel, plan) -> list[CostResult]:
+        """Execute a slab plan produced by :meth:`_slab_plan` (split out
+        so the module-level dispatcher classifies each slab only once)."""
+        from ..algorithms.wang import WangReplication
+
+        policies, preds = plan
+        if type(policies[0]) is WangReplication:
+            # prediction-free and alpha-free: one scalar replay serves
+            # every cell of the slab
+            storage, transfer, n_transfers = _fast_wang(trace, model, True, None)
+            return [
+                CostResult(
+                    trace=trace,
+                    model=model,
+                    policy_name=p.name,
+                    storage_cost=storage,
+                    transfer_cost=transfer,
+                    n_transfers=n_transfers,
+                    engine="batch",
+                )
+                for p in policies
+            ]
+        from ..predictions.stream import PredictionStream
+
+        matrix = PredictionStream.batch_for_predictors(preds, trace, model.lam)
+        assert matrix is not None  # vetted by _slab_plan
+        alphas = np.array([p.alpha for p in policies])
+        storage, transfer, n_tx = _batch_algorithm1(
+            trace, model, alphas, matrix, True, None
+        )
+        return [
+            CostResult(
+                trace=trace,
+                model=model,
+                policy_name=p.name,
+                storage_cost=float(storage[c]),
+                transfer_cost=float(transfer[c]),
+                n_transfers=int(n_tx[c]),
+                engine="batch",
+            )
+            for c, p in enumerate(policies)
+        ]
+
+    # ------------------------------------------------------------------
+    def _slab_plan(
+        self,
+        trace: Trace,
+        model: CostModel,
+        factory: SlabFactory,
+        cells: Sequence[SlabCell],
+        policies: list[ReplicationPolicy] | None = None,
+    ):
+        """Classify a slab: ``(policies, predictors)`` when one vectorized
+        pass can evaluate it, else None.
+
+        ``predictors`` is the per-cell streamable predictor list (a
+        constant "beyond" predictor stands in for the conventional
+        baseline, whose own predictor is never consulted); for a Wang
+        slab it is empty.  Pre-built ``policies`` (one per cell, never
+        yet queried) may be passed to avoid re-invoking the factory.
+        """
+        from ..algorithms.conventional import ConventionalReplication
+        from ..algorithms.learning_augmented import LearningAugmentedReplication
+        from ..algorithms.wang import WangReplication
+        from ..predictions.oracle import FixedPredictor
+        from ..predictions.stream import PredictionStream
+
+        if not cells or model.n != trace.n:
+            return None
+        if policies is None:
+            policies = [
+                factory(trace, model.lam, alpha, accuracy, seed)
+                for alpha, accuracy, seed in cells
+            ]
+        kinds = {type(p) for p in policies}
+        if kinds == {WangReplication}:
+            return (policies, []) if _wang_rates_ok(model) else None
+        if not kinds <= {ConventionalReplication, LearningAugmentedReplication}:
+            return None
+        if not model.uniform_storage:
+            return None
+        preds = [
+            FixedPredictor(False)
+            if type(p) is ConventionalReplication
+            else p.predictor
+            for p in policies
+        ]
+        if not all(PredictionStream.supports_predictor(p, trace) for p in preds):
+            return None
+        return policies, preds
+
+
+def run_slab(
+    trace: Trace,
+    model: CostModel,
+    cells: Sequence[SlabCell],
+    factory: SlabFactory,
+    engine: str | Engine = "auto",
+) -> list:
+    """Evaluate a slab of grid cells sharing one ``(trace, lambda)``.
+
+    ``cells`` is a sequence of ``(alpha, accuracy, seed)`` tuples and
+    ``factory`` follows the sweep-layer policy-factory signature.  With
+    ``engine`` ``"auto"`` or ``"batch"`` the whole slab runs in one
+    vectorized trace pass whenever every cell is batch-eligible;
+    otherwise — a concrete engine was requested, or the slab mixes
+    policy families — each cell runs through :func:`select_engine`
+    individually.  Per-cell costs are bit-identical across every path.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    batch = _ENGINES["batch"]
+    wants_batch = engine in ("auto", "batch") or isinstance(engine, BatchCostEngine)
+    # build each cell's policy exactly once: the plan classification and
+    # the per-cell fallback below share them (predictors are lazy, so an
+    # unqueried policy is indistinguishable from a fresh one)
+    policies = [
+        factory(trace, model.lam, alpha, accuracy, seed)
+        for alpha, accuracy, seed in cells
+    ]
+    if wants_batch and len(cells) > 1:
+        plan = batch._slab_plan(trace, model, factory, cells, policies=policies)
+        if plan is not None:
+            return batch._run_plan(trace, model, plan)
+    # per-cell fallback: "auto" keeps auto-selecting; a concrete engine
+    # (including explicit "batch") stays strict and raises on policies it
+    # cannot execute, exactly as the scalar paths do
+    out = []
+    for policy in policies:
+        eng = select_engine(trace, model, policy, engine)
+        out.append(eng.run(trace, model, policy))
+    return out
+
+
+# ----------------------------------------------------------------------
 # registry and selection
 # ----------------------------------------------------------------------
 _ENGINES: dict[str, Engine] = {
     "reference": ReferenceEngine(),
     "fast": FastCostEngine(),
+    "batch": BatchCostEngine(),
 }
 
 #: valid names for CLI flags and engine= parameters
-ENGINE_NAMES: tuple[str, ...] = ("auto", "fast", "reference")
+ENGINE_NAMES: tuple[str, ...] = ("auto", "batch", "fast", "reference")
 
 
 def get_engine(name: str | Engine) -> Engine:
@@ -529,17 +1085,21 @@ def select_engine(
     model: CostModel,
     policy: ReplicationPolicy,
     engine: str | Engine = "auto",
+    slab_size: int = 1,
 ) -> Engine:
-    """Pick the engine for one run.
+    """Pick the engine for one run (or one slab of runs).
 
-    ``"auto"`` selects the fast cost-only engine whenever it supports the
-    policy (see the module docstring), else the reference engine.  A
-    concrete name or :class:`Engine` instance is returned as-is — callers
-    that need telemetry must pass ``"reference"`` explicitly.
+    ``"auto"`` selects the batch engine when the caller holds a slab of
+    ``slab_size > 1`` cells sharing this ``(trace, lambda)`` and the
+    policy is fast-path eligible, the fast cost-only engine for single
+    eligible runs, and the reference engine otherwise (see the module
+    docstring).  A concrete name or :class:`Engine` instance is returned
+    as-is — callers that need telemetry must pass ``"reference"``
+    explicitly.
     """
     if engine == "auto":
         fast = _ENGINES["fast"]
         if fast.supports(trace, model, policy):
-            return fast
+            return _ENGINES["batch"] if slab_size > 1 else fast
         return _ENGINES["reference"]
     return get_engine(engine)

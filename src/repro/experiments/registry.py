@@ -18,6 +18,10 @@ Built-ins cover the paper's evaluation (Zuo, Tang, Lee, SPAA 2024):
 * ``tight-robustness`` / ``tight-consistency`` — the Figure 5/6 tight
   examples;
 * ``adversarial-lower-bound`` — the Section 9 adaptive adversary;
+* ``bursty`` / ``periodic`` / ``diurnal`` — Algorithm 1 grids over the
+  synthetic workload family (burst/idle alternation, jittered
+  round-robin, and day/night heavy-tail sessions), seeded per
+  replication;
 * ``smoke`` — a seconds-scale grid for CI and quick installs checks.
 
 Scenarios are declarative: no trace is built and no simulation runs at
@@ -276,6 +280,33 @@ def _smoke_trace(seed: int) -> Trace:
     return uniform_random_trace(n=4, m=60, horizon=500.0, seed=seed)
 
 
+def _bursty_scenario_trace(seed: int) -> Trace:
+    """Burst/idle alternation: ~1000 requests in 200 tight bursts."""
+    from ..workloads import bursty_trace
+
+    return bursty_trace(
+        n=10, n_bursts=200, burst_size=5, burst_spread=15.0,
+        quiet_gap=800.0, seed=seed,
+    )
+
+
+def _periodic_scenario_trace(seed: int) -> Trace:
+    """Jittered round-robin: periodic structure with noise."""
+    from ..workloads import periodic_trace
+
+    return periodic_trace(n=8, period=40.0, cycles=150, jitter=12.0, seed=seed)
+
+
+def _diurnal_scenario_trace(seed: int) -> Trace:
+    """Two days of day/night traffic with heavy-tail sessions."""
+    from ..workloads import diurnal_trace
+
+    return diurnal_trace(
+        n=10, days=2, base_rate=0.05, peak_rate=1.0, day_length=400.0,
+        seed=seed,
+    )
+
+
 def _register_builtins() -> None:
     for figure, lam in (
         ("fig25", 10.0),
@@ -409,6 +440,40 @@ def _register_builtins() -> None:
             tags=("adversarial",),
         )
     )
+
+    for name, factory, blurb in (
+        (
+            "bursty",
+            _bursty_scenario_trace,
+            "burst/idle workload (200 bursts of 5, long quiet gaps)",
+        ),
+        (
+            "periodic",
+            _periodic_scenario_trace,
+            "jittered round-robin workload (8 servers, 150 cycles)",
+        ),
+        (
+            "diurnal",
+            _diurnal_scenario_trace,
+            "day/night heavy-tail sessions (2 days, Pareto session sizes)",
+        ),
+    ):
+        register_scenario(
+            Scenario(
+                name=name,
+                description=(
+                    f"Algorithm 1 with noisy-oracle predictions on the "
+                    f"{blurb}"
+                ),
+                trace_factory=factory,
+                policy_factory=algorithm1_factory,
+                lambdas=(100.0, 1000.0),
+                alphas=(0.1, 0.2, 0.5, 1.0),
+                accuracies=(0.0, 0.5, 0.8, 1.0),
+                seeds=(0, 1),
+                tags=("workloads", "synthetic"),
+            )
+        )
 
     register_scenario(
         Scenario(

@@ -34,7 +34,7 @@ from typing import Any, Mapping, Sequence
 
 from ..analysis.sweep import SweepPoint, SweepResult, algorithm1_factory
 from ..core.costs import CostModel
-from ..core.engine import Engine, select_engine
+from ..core.engine import Engine, run_slab, select_engine
 from ..core.trace import Trace
 from ..offline.dp import optimal_cost
 from .cache import NullCache, ResultCache, trace_digest
@@ -176,23 +176,31 @@ def _opt_task(item: tuple[tuple, float]) -> tuple[tuple, float, float]:
     return trace_key, lam, opt
 
 
-def _sim_chunk_task(
-    chunk: Sequence[tuple[int, tuple, float, float, float, int]],
+def _slab_chunk_task(
+    item: tuple[tuple, float, Sequence[tuple[int, float, float, int]]],
 ) -> list[tuple[int, float]]:
+    """Evaluate one slab chunk: cells sharing a ``(trace, lambda)``.
+
+    ``item`` is ``(trace_key, lam, cells)`` with each cell an
+    ``(index, alpha, accuracy, seed)`` tuple.  The whole chunk runs in
+    one vectorized batch pass when the engine and policies allow it and
+    falls back to bit-identical per-cell execution otherwise, so one IPC
+    round covers the entire slab either way.
+    """
+    trace_key, lam, cells = item
     ctx = _ctx()
     scenario: Scenario = ctx["scenario"]
-    traces: dict[tuple, Trace] = ctx["traces"]
+    trace: Trace = ctx["traces"][trace_key]
     engine = ctx.get("engine", "auto")
-    out: list[tuple[int, float]] = []
-    for index, trace_key, lam, alpha, accuracy, seed in chunk:
-        trace = traces[trace_key]
-        policy = scenario.policy_factory(trace, lam, alpha, accuracy, seed)
-        model = CostModel(lam=lam, n=trace.n)
-        run = select_engine(trace, model, policy, engine).run(
-            trace, model, policy
-        )
-        out.append((index, run.total_cost))
-    return out
+    model = CostModel(lam=lam, n=trace.n)
+    runs = run_slab(
+        trace,
+        model,
+        [(alpha, accuracy, seed) for _, alpha, accuracy, seed in cells],
+        scenario.policy_factory,
+        engine=engine,
+    )
+    return [(cell[0], run.total_cost) for cell, run in zip(cells, runs)]
 
 
 def _fleet_chunk_task(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
@@ -307,11 +315,13 @@ class ExperimentRunner:
     progress:
         A :class:`~.progress.ProgressReporter`; defaults to silent.
     engine:
-        Simulation engine for grid cells: ``"auto"`` (default) runs the
-        cost-only fast engine whenever the policy is fast-path eligible
-        and the reference engine otherwise; ``"fast"``/``"reference"``
-        force one engine.  Results are identical across engines, so the
-        result cache is shared between them.
+        Simulation engine for grid cells: ``"auto"`` (default) evaluates
+        each dispatched slab of cells sharing a ``(trace, lambda)`` in
+        one vectorized batch pass when every cell is fast-path eligible,
+        per-cell on the fast or reference engine otherwise;
+        ``"batch"``/``"fast"``/``"reference"`` force one engine.
+        Results are bit-identical across engines, so the result cache is
+        shared between them.
     """
 
     def __init__(
@@ -378,18 +388,29 @@ class ExperimentRunner:
         return result.sweep_result(seed)
 
     def run_fleet(
-        self, system, compute_optimal: bool = True, engine: str | Engine = "reference"
+        self,
+        system,
+        compute_optimal: bool = True,
+        engine: str | Engine | None = None,
     ):
         """Parallel equivalent of ``MultiObjectSystem.run``.
 
         Object results are not cached (policy factories of ad-hoc specs
-        have no stable identity); parallelism and progress only.  The
-        default engine stays ``"reference"`` because fleet reports expose
-        full per-object simulation results (serves, logs); pass
-        ``"auto"``/``"fast"`` for cost-only fleets.
+        have no stable identity); parallelism and progress only.
+
+        ``engine`` threads through to every per-object simulation.
+        ``None`` (the default) inherits the engine this runner was
+        configured with, except that the runner default ``"auto"``
+        resolves to ``"reference"`` here: fleet reports expose full
+        per-object simulation results (serves, logs), so only an
+        explicit cost-only choice — ``ExperimentRunner(engine="fast")``,
+        or ``engine="auto"``/``"fast"``/``"batch"`` passed directly —
+        trades that telemetry away.
         """
         from ..system.multi_object import FleetReport, ObjectOutcome
 
+        if engine is None:
+            engine = "reference" if self.engine == "auto" else self.engine
         specs = list(system.specs)
         report = FleetReport()
         if not specs:
@@ -420,6 +441,21 @@ class ExperimentRunner:
             return 1
         # ~4 chunks per worker balances load against dispatch overhead
         return max(1, min(64, -(-n_tasks // (self.workers * 4))))
+
+    def _slab_chunk_size(self, n_cells: int, engine: str | Engine) -> int:
+        """Cells per dispatched slab chunk.
+
+        Batch-capable engines want the widest chunks the pool can still
+        load-balance (the vectorized trace pass amortises across every
+        cell of a chunk, and wider chunks mean fewer IPC rounds); the
+        per-cell engines keep the finer-grained sizing.
+        """
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        name = engine.name if isinstance(engine, Engine) else engine
+        if name in ("auto", "batch"):
+            return max(1, -(-n_cells // (self.workers * 2)))
+        return self._chunk_size(n_cells)
 
     def _run_scenario(
         self,
@@ -484,17 +520,28 @@ class ExperimentRunner:
         self.progress.start(
             len(jobs), cached=out.cached, label=scenario.name
         )
-        sim_items = [
-            (j.index, j.trace_key, j.lam, j.alpha, j.accuracy, j.seed)
-            for j in sim_misses
-        ]
         by_index = {j.index: j for j in sim_misses}
-        chunks = _chunked(sim_items, self._chunk_size(len(sim_items)))
+        # group cache misses into slabs keyed by (trace digest, lambda):
+        # every cell of a slab shares one trace pass on the batch engine,
+        # and one slab chunk costs one IPC round.  Each slab is split
+        # into at most ~2 chunks per worker so wide grids still load-
+        # balance across the pool.
+        slabs: dict[tuple[str, float], tuple[tuple, list[Job]]] = {}
+        for j in sim_misses:
+            key = (digests[j.trace_key], j.lam)
+            slabs.setdefault(key, (j.trace_key, []))[1].append(j)
+        chunks: list[tuple[tuple, float, tuple]] = []
+        for (_, lam), (trace_key, slab_jobs) in slabs.items():
+            cells = [(j.index, j.alpha, j.accuracy, j.seed) for j in slab_jobs]
+            size = self._slab_chunk_size(len(cells), engine)
+            chunks.extend(
+                (trace_key, lam, tuple(part)) for part in _chunked(cells, size)
+            )
         # optima and simulation chunks enter the pool together: the
         # optima are consumed only at assembly below, so nothing waits
         # on the (expensive) DP before simulations start
         tasks = [("opt", _opt_task, pair) for pair in opt_misses]
-        tasks += [("sim", _sim_chunk_task, chunk) for chunk in chunks]
+        tasks += [("sim", _slab_chunk_task, chunk) for chunk in chunks]
         with _Executor(self.workers, context) as ex:
             for tag, result in ex.run_tagged(tasks):
                 if tag == "opt":

@@ -41,11 +41,23 @@ def ground_truth_within(trace: Trace, server: int, time: float, lam: float) -> b
 
 
 class _TraceBacked(Predictor):
-    """Shared machinery: per-server sorted arrival times from the trace."""
+    """Shared machinery: per-server sorted arrival times from the trace.
+
+    The per-server index is built lazily on the first query: grid slabs
+    construct hundreds of these predictors only to hand them to the
+    batch/fast engines, which stream predictions from vectorized arrays
+    and never query the predictor itself.
+    """
 
     def __init__(self, trace: Trace):
         self._trace = trace  # retained so PredictionStream can verify provenance
-        self._times = trace.per_server_times()
+        self._per_server: dict[int, np.ndarray] | None = None
+
+    @property
+    def _times(self) -> dict[int, np.ndarray]:
+        if self._per_server is None:
+            self._per_server = self._trace.per_server_times()
+        return self._per_server
 
     def _truth(self, server: int, time: float, lam: float) -> bool:
         times = self._times.get(server)

@@ -24,6 +24,18 @@ adversarial) plus constant predictions.  History-based predictors
 (sliding window, Markov, EWMA, ensembles) observe requests one at a
 time and are deliberately *not* streamable; policies using them fall
 back to the reference engine.
+
+Batched streams
+---------------
+The batch engine evaluates a whole slab of grid cells in one trace
+pass, so it consumes a *prediction matrix* rather than one stream:
+:meth:`PredictionStream.batch` builds the ``(m + 1, n_cells)`` matrix
+for the noisy-oracle family (one ``(accuracy, seed)`` pair per column)
+and :meth:`PredictionStream.batch_for_predictors` does the same for an
+arbitrary list of streamable predictors.  Both compute the ground truth
+once and draw each seed's PCG64 stream once, shared across every column
+using it — so column ``c`` is bit-identical to the scalar stream the
+fast engine would build for that cell.
 """
 
 from __future__ import annotations
@@ -124,6 +136,81 @@ class PredictionStream:
             np.full(len(trace) + 1, bool(within)),
             name=f"fixed({'within' if within else 'beyond'})",
         )
+
+    # ------------------------------------------------------------------
+    # batched constructors (one column per grid cell)
+    # ------------------------------------------------------------------
+    @classmethod
+    def batch(
+        cls,
+        trace: Trace,
+        lam: float,
+        accuracies,
+        seeds,
+    ) -> np.ndarray:
+        """Noisy-oracle prediction matrix for a slab of grid cells.
+
+        Returns a ``(len(trace) + 1, n_cells)`` boolean matrix whose
+        column ``c`` equals ``noisy_oracle(trace, lam, accuracies[c],
+        seeds[c]).within`` bit for bit (the oracle stream for
+        ``accuracy == 1``, matching ``algorithm1_factory``'s predictor
+        choice).  Delegates to :meth:`batch_for_predictors`, which
+        computes the ground truth once and shares each distinct seed's
+        batched RNG draw across every accuracy using it, so an
+        ``n_cells``-wide slab costs one truth pass plus one
+        ``random(m + 1)`` call per unique seed.
+        """
+        accuracies = list(accuracies)
+        seeds = list(seeds)
+        if len(accuracies) != len(seeds):
+            raise ValueError(
+                f"accuracies and seeds must align, got "
+                f"{len(accuracies)} vs {len(seeds)}"
+            )
+        predictors = [
+            OraclePredictor(trace)
+            if acc == 1.0
+            else NoisyOraclePredictor(trace, acc, seed=seed)
+            for acc, seed in zip(accuracies, seeds)
+        ]
+        matrix = cls.batch_for_predictors(predictors, trace, lam)
+        assert matrix is not None  # fresh trace-backed predictors stream
+        return matrix
+
+    @classmethod
+    def batch_for_predictors(
+        cls, predictors, trace: Trace, lam: float
+    ) -> np.ndarray | None:
+        """One prediction column per predictor, or None if any is not
+        streamable on ``trace``.
+
+        Columns are bit-identical to the per-predictor scalar streams
+        (:meth:`for_predictor`), but the ground truth and per-seed RNG
+        draws are computed once for the whole slab.
+        """
+        if not all(cls.supports_predictor(p, trace) for p in predictors):
+            return None
+        m1 = len(trace) + 1
+        out = np.empty((m1, len(predictors)), dtype=bool)
+        truth: np.ndarray | None = None
+        draws: dict[int, np.ndarray] = {}
+        for c, p in enumerate(predictors):
+            kind = type(p)
+            if kind is FixedPredictor:
+                out[:, c] = bool(p.within)
+                continue
+            if truth is None:
+                truth = truth_within_array(trace, lam)
+            if kind is OraclePredictor:
+                out[:, c] = truth
+            elif kind is AdversarialPredictor:
+                out[:, c] = ~truth
+            else:  # NoisyOraclePredictor (supports_predictor vetted types)
+                if p.seed not in draws:
+                    draws[p.seed] = np.random.default_rng(p.seed).random(m1)
+                correct = draws[p.seed] < p.accuracy
+                out[:, c] = np.where(correct, truth, ~truth)
+        return out
 
     # ------------------------------------------------------------------
     @classmethod

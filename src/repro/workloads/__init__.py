@@ -16,6 +16,7 @@ from .ibm_like import (
 from .synthetic import (
     assign_servers_zipf,
     bursty_trace,
+    diurnal_trace,
     periodic_trace,
     poisson_trace,
     uniform_random_trace,
@@ -37,5 +38,6 @@ __all__ = [
     "poisson_trace",
     "bursty_trace",
     "periodic_trace",
+    "diurnal_trace",
     "uniform_random_trace",
 ]

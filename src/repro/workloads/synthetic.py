@@ -18,6 +18,7 @@ __all__ = [
     "poisson_trace",
     "bursty_trace",
     "periodic_trace",
+    "diurnal_trace",
     "uniform_random_trace",
 ]
 
@@ -134,6 +135,65 @@ def periodic_trace(
     times = _dedupe_times(np.array([x[0] for x in items]))
     servers = [x[1] for x in items]
     return Trace.from_arrays(times, servers, n=n)
+
+
+def diurnal_trace(
+    n: int,
+    days: int,
+    base_rate: float,
+    peak_rate: float,
+    day_length: float = 1440.0,
+    tail_exponent: float = 1.5,
+    max_session: int = 50,
+    session_spread: float = 5.0,
+    seed: int = 0,
+) -> Trace:
+    """Diurnal arrivals with heavy-tailed sessions.
+
+    Session *starts* follow a nonhomogeneous Poisson process (thinning)
+    whose intensity swings sinusoidally between ``base_rate`` (nightly
+    trough) and ``peak_rate`` (midday peak) over each ``day_length``
+    period; each session issues ``1 + floor(Pareto(tail_exponent))``
+    requests (clipped at ``max_session``) at one Zipf-chosen server,
+    spread uniformly over ``session_spread`` time units.
+
+    The mix exercises both regimes Algorithm 1 has to trade off: dense
+    daytime sessions reward holding copies (within-``lambda`` gaps),
+    while the heavy tail and the overnight troughs punish over-holding —
+    and the load pattern is the canonical shape of real user-facing
+    traffic, which the flat Poisson and burst generators above do not
+    capture.
+    """
+    if days <= 0 or day_length <= 0:
+        raise ValueError("days and day_length must be positive")
+    if not 0 <= base_rate <= peak_rate or peak_rate <= 0:
+        raise ValueError("need 0 <= base_rate <= peak_rate with peak_rate > 0")
+    if tail_exponent <= 0:
+        raise ValueError(f"tail_exponent must be > 0, got {tail_exponent}")
+    if max_session < 1:
+        raise ValueError(f"max_session must be >= 1, got {max_session}")
+    rng = np.random.default_rng(seed)
+    horizon = days * day_length
+    n_candidates = rng.poisson(peak_rate * horizon)
+    candidates = np.sort(rng.uniform(0.0, horizon, size=n_candidates))
+    phase = 2.0 * np.pi * candidates / day_length
+    intensity = base_rate + (peak_rate - base_rate) * 0.5 * (1.0 - np.cos(phase))
+    starts = candidates[rng.random(n_candidates) < intensity / peak_rate]
+    probs = zipf_server_probabilities(n)
+    servers = rng.choice(n, size=len(starts), p=probs)
+    sizes = 1 + np.minimum(
+        rng.pareto(tail_exponent, size=len(starts)), max_session - 1
+    ).astype(int)
+    items: list[tuple[float, int]] = []
+    for t0, server, size in zip(starts, servers, sizes):
+        offsets = np.sort(rng.uniform(0.0, session_spread, size=size))
+        for off in offsets:
+            items.append((t0 + off, int(server)))
+    items.sort()
+    times = _dedupe_times(
+        np.maximum(np.array([x[0] for x in items]), 1e-9)
+    )
+    return Trace.from_arrays(times, [x[1] for x in items], n=n)
 
 
 def uniform_random_trace(

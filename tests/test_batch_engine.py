@@ -1,0 +1,507 @@
+"""Equivalence and wiring tests for the batched slab engine.
+
+The contract under test (core/engine.py DESIGN): the slab-vectorized
+:class:`BatchCostEngine` must reproduce the scalar
+:class:`FastCostEngine` — and therefore the reference event-driven
+simulator — *bit for bit*, per cell, for every fast-path eligible policy
+(Algorithm 1 with streamable predictors, the conventional baseline, and
+Wang et al.) on arbitrary instances and arbitrary slabs of
+``(alpha, accuracy, seed)`` cells; batched prediction matrices must
+consume the PCG64 streams exactly as the scalar paths do; and the
+layers above (``select_engine``, ``run_slab``, ``sweep_grid``,
+``ExperimentRunner``, fleets, the CLI) must route slabs onto it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BatchCostEngine,
+    ConventionalReplication,
+    CostModel,
+    CostResult,
+    EngineError,
+    FastCostEngine,
+    LearningAugmentedReplication,
+    MultiObjectSystem,
+    ObjectSpec,
+    PredictionStream,
+    ReferenceEngine,
+    Trace,
+    WangReplication,
+    get_engine,
+    run_slab,
+    select_engine,
+)
+from repro.analysis.sweep import algorithm1_factory, sweep_grid
+from repro.core.engine import ENGINE_NAMES
+from repro.experiments import ExperimentRunner, ResultCache, get_scenario, scenario_names
+from repro.predictions import (
+    AdversarialPredictor,
+    FixedPredictor,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    SlidingWindowPredictor,
+)
+from repro.workloads import diurnal_trace, uniform_random_trace
+
+BATCH = BatchCostEngine()
+FAST = FastCostEngine()
+REF = ReferenceEngine()
+
+
+def assert_slab_matches_scalar(trace, model, factory, cells, check_reference=False):
+    """One batched slab pass == per-cell fast (and reference) replays."""
+    runs = BATCH.run_slab(trace, model, factory, cells)
+    assert len(runs) == len(cells)
+    for cell, run in zip(cells, runs):
+        assert isinstance(run, CostResult)
+        assert run.engine == "batch"
+        policy = factory(trace, model.lam, *cell)
+        fast = FAST.run(trace, model, policy)
+        # bit-identity, not mere closeness
+        assert run.storage_cost == fast.storage_cost, cell
+        assert run.transfer_cost == fast.transfer_cost, cell
+        assert run.n_transfers == fast.n_transfers, cell
+        if check_reference:
+            ref = REF.run(trace, model, factory(trace, model.lam, *cell))
+            assert run.storage_cost == ref.storage_cost, cell
+            assert run.transfer_cost == ref.transfer_cost, cell
+    return runs
+
+
+# ----------------------------------------------------------------------
+# property-based equivalence: random traces x slabs x all three policies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def traces(draw, max_n=5, max_m=30):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_m))
+    gaps = draw(
+        st.lists(
+            st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    servers = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    times = np.cumsum(gaps)
+    return Trace(n, list(zip(times.tolist(), servers)))
+
+
+@st.composite
+def instances(draw):
+    trace = draw(traces())
+    lam = draw(st.floats(0.05, 50.0, allow_nan=False, allow_infinity=False))
+    return trace, CostModel(lam=lam, n=trace.n)
+
+
+@st.composite
+def slabs(draw, max_cells=6):
+    k = draw(st.integers(1, max_cells))
+    alphas = draw(st.lists(st.floats(0.0, 1.0), min_size=k, max_size=k))
+    accs = draw(st.lists(st.floats(0.0, 1.0), min_size=k, max_size=k))
+    seeds = draw(st.lists(st.integers(0, 4), min_size=k, max_size=k))
+    return list(zip(alphas, accs, seeds))
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances(), slabs())
+def test_algorithm1_slab_bit_identity(inst, cells):
+    """Batch == fast == reference per cell for Algorithm 1 slabs."""
+    trace, model = inst
+    assert_slab_matches_scalar(
+        trace, model, algorithm1_factory, cells, check_reference=True
+    )
+
+
+def _conventional_factory(trace, lam, alpha, accuracy, seed):
+    return ConventionalReplication()
+
+
+def _wang_factory(trace, lam, alpha, accuracy, seed):
+    return WangReplication()
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(), st.integers(1, 4))
+def test_conventional_and_wang_slab_bit_identity(inst, k):
+    trace, model = inst
+    cells = [(0.5, 1.0, s) for s in range(k)]
+    assert_slab_matches_scalar(
+        trace, model, _conventional_factory, cells, check_reference=True
+    )
+    assert_slab_matches_scalar(
+        trace, model, _wang_factory, cells, check_reference=True
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances(), st.floats(0.05, 1.0), st.booleans())
+def test_fixed_and_adversarial_predictor_slabs(inst, alpha, within):
+    trace, model = inst
+
+    def fixed_factory(tr, lam, a, acc, seed):
+        return LearningAugmentedReplication(FixedPredictor(within), a)
+
+    def adversarial_factory(tr, lam, a, acc, seed):
+        return LearningAugmentedReplication(AdversarialPredictor(tr), a)
+
+    cells = [(alpha, 0.0, 0), (1.0, 0.0, 1)]
+    assert_slab_matches_scalar(trace, model, fixed_factory, cells)
+    assert_slab_matches_scalar(trace, model, adversarial_factory, cells)
+
+
+@settings(max_examples=20, deadline=None)
+@given(instances(), st.integers(0, 3))
+def test_zero_alpha_full_trust_slab(inst, seed):
+    trace, model = inst
+    cells = [(0.0, 0.7, seed), (0.0, 1.0, seed), (0.3, 0.7, seed + 1)]
+    assert_slab_matches_scalar(trace, model, algorithm1_factory, cells)
+
+
+def test_single_policy_run_matches_fast():
+    """The scalar Engine interface (one-column slab) is bit-identical."""
+    trace = uniform_random_trace(n=4, m=80, horizon=500.0, seed=5)
+    model = CostModel(lam=25.0, n=4)
+    for make in (
+        lambda: LearningAugmentedReplication(
+            NoisyOraclePredictor(trace, 0.6, seed=3), 0.4
+        ),
+        ConventionalReplication,
+        WangReplication,
+    ):
+        b = BATCH.run(trace, model, make())
+        f = FAST.run(trace, model, make())
+        assert b.storage_cost == f.storage_cost
+        assert b.transfer_cost == f.transfer_cost
+        assert b.n_transfers == f.n_transfers
+        assert b.engine == "batch"
+
+
+def test_drain_event_cap_matches_fast():
+    trace = uniform_random_trace(n=5, m=40, horizon=200.0, seed=9)
+    model = CostModel(lam=15.0, n=5)
+    pol = LearningAugmentedReplication(OraclePredictor(trace), 0.5)
+    for cap in (0, 1, 2, None):
+        b = BATCH.run(trace, model, pol, drain_event_cap=cap)
+        f = FAST.run(
+            trace,
+            model,
+            LearningAugmentedReplication(OraclePredictor(trace), 0.5),
+            drain_event_cap=cap,
+        )
+        assert b.storage_cost == f.storage_cost, cap
+        assert b.transfer_cost == f.transfer_cost, cap
+
+
+def test_non_unit_uniform_rate_slab():
+    trace = uniform_random_trace(n=4, m=100, horizon=600.0, seed=11)
+    model = CostModel(lam=40.0, n=4, storage_rates=(2.5,) * 4)
+    cells = [(a, acc, 0) for a in (0.2, 1.0) for acc in (0.0, 1.0)]
+    assert_slab_matches_scalar(
+        trace, model, algorithm1_factory, cells, check_reference=True
+    )
+
+
+# ----------------------------------------------------------------------
+# batched prediction streams: RNG bit-identity
+# ----------------------------------------------------------------------
+
+
+class TestBatchedStreams:
+    def test_batch_matrix_columns_equal_scalar_streams(self):
+        trace = uniform_random_trace(n=4, m=150, horizon=900.0, seed=7)
+        lam = 35.0
+        accuracies = [0.0, 0.3, 0.3, 0.8, 1.0]
+        seeds = [0, 1, 1, 2, 5]
+        matrix = PredictionStream.batch(trace, lam, accuracies, seeds)
+        assert matrix.shape == (len(trace) + 1, 5)
+        for c, (acc, seed) in enumerate(zip(accuracies, seeds)):
+            if acc >= 1.0:
+                scalar = PredictionStream.oracle(trace, lam)
+            else:
+                scalar = PredictionStream.noisy_oracle(trace, lam, acc, seed)
+            assert np.array_equal(matrix[:, c], scalar.within), (acc, seed)
+
+    def test_batch_shares_draws_across_same_seed(self):
+        # two columns with the same seed must flip the same queries when
+        # their accuracies coincide — a direct probe of draw sharing
+        trace = uniform_random_trace(n=3, m=80, horizon=400.0, seed=1)
+        m = PredictionStream.batch(trace, 20.0, [0.5, 0.5], [3, 3])
+        assert np.array_equal(m[:, 0], m[:, 1])
+
+    def test_batch_for_predictors_mixed_kinds(self):
+        trace = uniform_random_trace(n=3, m=60, horizon=300.0, seed=2)
+        lam = 18.0
+        preds = [
+            OraclePredictor(trace),
+            AdversarialPredictor(trace),
+            FixedPredictor(True),
+            FixedPredictor(False),
+            NoisyOraclePredictor(trace, 0.4, seed=6),
+        ]
+        matrix = PredictionStream.batch_for_predictors(preds, trace, lam)
+        assert matrix is not None
+        for c, p in enumerate(preds):
+            scalar = PredictionStream.for_predictor(p, trace, lam)
+            assert np.array_equal(matrix[:, c], scalar.within), type(p)
+
+    def test_batch_for_predictors_rejects_unstreamable(self):
+        trace = uniform_random_trace(n=3, m=30, horizon=150.0, seed=3)
+        preds = [OraclePredictor(trace), SlidingWindowPredictor(window=5)]
+        assert PredictionStream.batch_for_predictors(preds, trace, 10.0) is None
+
+    def test_batch_validates_inputs(self):
+        trace = uniform_random_trace(n=3, m=10, horizon=50.0, seed=0)
+        with pytest.raises(ValueError, match="align"):
+            PredictionStream.batch(trace, 10.0, [0.5], [0, 1])
+        with pytest.raises(ValueError, match="accuracy"):
+            PredictionStream.batch(trace, 10.0, [-0.1], [0])
+
+
+# ----------------------------------------------------------------------
+# selection and dispatch wiring
+# ----------------------------------------------------------------------
+
+
+class TestSelection:
+    def setup_method(self):
+        self.trace = uniform_random_trace(n=4, m=40, horizon=300.0, seed=0)
+        self.model = CostModel(lam=20.0, n=4)
+
+    def test_engine_names_and_registry(self):
+        assert ENGINE_NAMES == ("auto", "batch", "fast", "reference")
+        assert isinstance(get_engine("batch"), BatchCostEngine)
+
+    def test_auto_prefers_batch_for_slabs(self):
+        pol = LearningAugmentedReplication(OraclePredictor(self.trace), 0.5)
+        assert select_engine(self.trace, self.model, pol, "auto") \
+            is get_engine("fast")
+        assert select_engine(
+            self.trace, self.model, pol, "auto", slab_size=8
+        ) is get_engine("batch")
+        # ineligible policies fall back to reference even for slabs
+        pol2 = LearningAugmentedReplication(SlidingWindowPredictor(5), 0.5)
+        assert select_engine(
+            self.trace, self.model, pol2, "auto", slab_size=8
+        ) is get_engine("reference")
+
+    def test_explicit_batch_on_unsupported_policy_raises(self):
+        from repro import AdaptiveReplication
+
+        pol = AdaptiveReplication(OraclePredictor(self.trace), 0.5, beta=0.1)
+        assert not BATCH.supports(self.trace, self.model, pol)
+        with pytest.raises(EngineError):
+            BATCH.run(self.trace, self.model, pol)
+
+    def test_supports_slab_rejects_mixed_and_unstreamable(self):
+        def mixed_factory(trace, lam, alpha, accuracy, seed):
+            if seed % 2:
+                return WangReplication()
+            return ConventionalReplication()
+
+        cells = [(0.5, 1.0, 0), (0.5, 1.0, 1)]
+        assert not BATCH.supports_slab(
+            self.trace, self.model, mixed_factory, cells
+        )
+
+        def learned_factory(trace, lam, alpha, accuracy, seed):
+            return LearningAugmentedReplication(SlidingWindowPredictor(5), alpha)
+
+        assert not BATCH.supports_slab(
+            self.trace, self.model, learned_factory, cells
+        )
+        with pytest.raises(EngineError):
+            BATCH.run_slab(self.trace, self.model, learned_factory, cells)
+
+    def test_run_slab_falls_back_per_cell(self):
+        # an unbatchable (history-based) factory still evaluates under
+        # "auto" via the reference engine, cell by cell
+        def learned_factory(trace, lam, alpha, accuracy, seed):
+            return LearningAugmentedReplication(SlidingWindowPredictor(5), alpha)
+
+        cells = [(0.5, 1.0, 0), (1.0, 1.0, 0)]
+        runs = run_slab(self.trace, self.model, cells, learned_factory)
+        refs = [
+            REF.run(
+                self.trace, self.model,
+                learned_factory(self.trace, self.model.lam, *c),
+            )
+            for c in cells
+        ]
+        for run, ref in zip(runs, refs):
+            assert run.total_cost == ref.total_cost
+
+    def test_run_slab_empty(self):
+        assert run_slab(self.trace, self.model, [], algorithm1_factory) == []
+
+
+# ----------------------------------------------------------------------
+# consuming layers: sweep, runner, fleets, CLI
+# ----------------------------------------------------------------------
+
+
+class TestConsumers:
+    def test_sweep_grid_batch_equals_fast_and_reference(self):
+        trace = uniform_random_trace(n=4, m=60, horizon=500.0, seed=0)
+        grids = {
+            name: sweep_grid(
+                trace, (10.0, 100.0), (0.2, 1.0), (0.0, 1.0), engine=name
+            )
+            for name in ("auto", "batch", "fast", "reference")
+        }
+        base = grids["fast"]
+        for name, grid in grids.items():
+            assert len(grid.points) == len(base.points)
+            for p, q in zip(grid.points, base.points):
+                assert p.online_cost == q.online_cost, name
+                assert (p.lam, p.alpha, p.accuracy) == (q.lam, q.alpha, q.accuracy)
+
+    def test_runner_batch_scenario_and_shared_cache(self, tmp_path):
+        scenario = get_scenario("smoke")
+        fast = ExperimentRunner(workers=1, engine="fast").run(scenario)
+        batch = ExperimentRunner(workers=2, engine="batch").run(scenario)
+        for a, b in zip(fast.results, batch.results):
+            assert a.online_cost == b.online_cost
+            assert a.optimal_cost == b.optimal_cost
+        # the cache is keyed per cell and shared across engines: a batch
+        # run warms it for a fast re-run, which then executes nothing
+        cache = ResultCache(tmp_path / "cache")
+        first = ExperimentRunner(workers=2, cache=cache, engine="batch").run(
+            scenario
+        )
+        assert first.executed == len(first)
+        again = ExperimentRunner(
+            workers=2, cache=ResultCache(tmp_path / "cache"), engine="fast"
+        ).run(scenario)
+        assert again.executed == 0 and again.cached == len(again)
+
+    def test_run_fleet_threads_engine(self):
+        trace = uniform_random_trace(n=3, m=40, horizon=300.0, seed=2)
+        specs = [
+            ObjectSpec(
+                "obj-a",
+                trace,
+                15.0,
+                lambda tr, model: LearningAugmentedReplication(
+                    OraclePredictor(tr), 0.4
+                ),
+            ),
+            ObjectSpec("obj-b", trace, 30.0, lambda tr, model: WangReplication()),
+        ]
+        system = MultiObjectSystem(3, specs)
+        ref = system.run()
+        # engine=None inherits an explicitly configured runner engine
+        report = ExperimentRunner(workers=2, engine="batch").run_fleet(system)
+        assert report.online_total == ref.online_total
+        assert isinstance(report.outcomes[0].result, CostResult)
+        assert report.outcomes[0].result.engine == "batch"
+        # ...but a default ("auto") runner keeps the telemetry-preserving
+        # reference engine for fleets, as before
+        default_report = ExperimentRunner(workers=1).run_fleet(system)
+        assert default_report.online_total == ref.online_total
+        assert hasattr(default_report.outcomes[0].result, "serves")
+        # MultiObjectSystem.run(engine="batch", runner=...) also routes
+        via_system = system.run(
+            runner=ExperimentRunner(workers=1), engine="batch"
+        )
+        assert via_system.online_total == ref.online_total
+
+    def test_cli_accepts_batch_engine(self):
+        from repro.cli import build_parser
+
+        p = build_parser()
+        args = p.parse_args(["sweep", "--engine", "batch"])
+        assert args.engine == "batch"
+        args = p.parse_args(["experiments", "run", "smoke", "--engine", "batch"])
+        assert args.engine == "batch"
+
+
+# ----------------------------------------------------------------------
+# new built-in scenarios (satellite)
+# ----------------------------------------------------------------------
+
+
+def test_all_registered_scenarios_batch_equivalent_where_supported():
+    """Every registered scenario's smoke subset: batch == fast per cell
+    wherever the slab is batch-eligible (the paper grids, smoke, tight
+    examples, adversary, and the synthetic workload grids all are)."""
+    from repro.experiments import list_scenarios
+
+    batch_covered = 0
+    for scenario in list_scenarios():
+        lam = scenario.lambdas[0]
+        alpha = scenario.alphas[0]
+        acc = scenario.accuracies[-1]
+        seed = scenario.seeds[0]
+        trace = scenario.build_trace(lam=lam, alpha=alpha, accuracy=acc, seed=seed)
+        model = CostModel(lam=lam, n=trace.n)
+        cells = [(alpha, acc, seed), (scenario.alphas[-1], acc, seed)]
+        if BATCH.supports_slab(trace, model, scenario.policy_factory, cells):
+            assert_slab_matches_scalar(
+                trace, model, scenario.policy_factory, cells
+            )
+            batch_covered += 1
+    # the paper grids, smoke, tight examples, adversary, and the three
+    # synthetic workload grids must all ride the batch path
+    assert batch_covered >= 11
+
+
+class TestWorkloadScenarios:
+    def test_registered(self):
+        names = set(scenario_names())
+        assert {"bursty", "periodic", "diurnal"} <= names
+        assert set(scenario_names(tag="workloads")) == {
+            "bursty", "periodic", "diurnal"
+        }
+
+    @pytest.mark.parametrize("name", ["bursty", "periodic", "diurnal"])
+    def test_scenario_slab_is_batchable_and_bit_identical(self, name):
+        scenario = get_scenario(name)
+        lam = scenario.lambdas[0]
+        trace = scenario.build_trace(lam=lam, alpha=0.2, accuracy=0.5, seed=0)
+        model = CostModel(lam=lam, n=trace.n)
+        cells = [(0.2, 0.5, 0), (1.0, 1.0, 0), (0.1, 0.0, 1)]
+        assert BATCH.supports_slab(
+            trace, model, scenario.policy_factory, cells
+        )
+        assert_slab_matches_scalar(
+            trace, model, scenario.policy_factory, cells
+        )
+
+    def test_diurnal_trace_properties(self):
+        tr = diurnal_trace(
+            n=6, days=2, base_rate=0.05, peak_rate=1.0, day_length=400.0,
+            seed=3,
+        )
+        tr2 = diurnal_trace(
+            n=6, days=2, base_rate=0.05, peak_rate=1.0, day_length=400.0,
+            seed=3,
+        )
+        assert [(r.time, r.server) for r in tr] == [
+            (r.time, r.server) for r in tr2
+        ]
+        assert len(tr) > 100
+        assert tr.span <= 2 * 400.0 + 5.0 + 1.0  # horizon + session spread
+        # heavy tail: some sessions are much larger than the median burst
+        gaps = np.diff(tr.times)
+        assert np.max(gaps) > 20 * np.median(gaps)
+
+    def test_diurnal_trace_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(n=3, days=0, base_rate=0.1, peak_rate=1.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(n=3, days=1, base_rate=2.0, peak_rate=1.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(n=3, days=1, base_rate=0.1, peak_rate=1.0,
+                          tail_exponent=0.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(n=3, days=1, base_rate=0.1, peak_rate=1.0,
+                          max_session=0)
