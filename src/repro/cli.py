@@ -16,6 +16,11 @@ Subcommands
 ``experiments``
     The scenario registry: ``list`` the registered experiment
     configurations or ``run`` one in parallel with result caching.
+``trace``
+    Trace file utilities: ``info`` prints the detected format and
+    summary statistics; ``convert`` rewrites a trace between the
+    supported formats (csv / csv.gz / jsonl / jsonl.gz / npz), detected
+    from the path suffixes.
 
 Examples::
 
@@ -23,6 +28,8 @@ Examples::
     repro-replication tight --alpha 0.5
     repro-replication wang --m 500
     repro-replication experiments run fig25 --workers 8
+    repro-replication trace info workload.csv.gz
+    repro-replication trace convert workload.csv workload.npz
 """
 
 from __future__ import annotations
@@ -131,6 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
                     default="auto",
                     help="simulation engine for grid cells (default: auto "
                     "= batched slab passes where eligible)")
+
+    tr = sub.add_parser("trace", help="trace files: info / convert")
+    tsub = tr.add_subparsers(dest="trace_command", required=True)
+    ti = tsub.add_parser("info", help="detected format + summary statistics")
+    ti.add_argument("path", help="trace file (csv/csv.gz/jsonl/jsonl.gz/npz)")
+    ti.add_argument("--mmap", action="store_true",
+                    help="memory-map the columns of an .npz trace "
+                    "instead of reading them into memory")
+    tc = tsub.add_parser("convert",
+                         help="rewrite a trace in another format "
+                         "(formats detected from the path suffixes)")
+    tc.add_argument("src", help="input trace file")
+    tc.add_argument("dst", help="output trace file")
     return p
 
 
@@ -293,6 +313,41 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.trace import TraceError
+    from .system.trace_io import detect_trace_format, load_trace, save_trace
+
+    try:
+        if args.trace_command == "info":
+            fmt = detect_trace_format(args.path)
+            trace = load_trace(args.path, fmt=fmt, mmap=args.mmap)
+            s = trace.summary()
+            print(f"path            {args.path}")
+            print(f"format          {fmt}"
+                  + (" (memory-mapped)" if args.mmap and fmt == "npz" else ""))
+            print(f"file size       {os.path.getsize(args.path)} bytes")
+            print(f"servers (n)     {trace.n}")
+            print(f"requests (m)    {len(trace)}")
+            print(f"span            {s['span']:g}")
+            print(f"servers touched {int(s['servers_touched'])}")
+            print(f"mean local gap  {s['mean_local_gap']:g}")
+            print(f"median local gap {s['median_local_gap']:g}")
+            return 0
+        # convert
+        src_fmt = detect_trace_format(args.src)
+        dst_fmt = detect_trace_format(args.dst)
+        trace = load_trace(args.src, fmt=src_fmt, mmap=src_fmt == "npz")
+        save_trace(trace, args.dst, fmt=dst_fmt)
+        print(
+            f"{args.src} ({src_fmt}) -> {args.dst} ({dst_fmt}): "
+            f"n={trace.n} m={len(trace)}"
+        )
+        return 0
+    except (TraceError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -303,6 +358,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "wang": _cmd_wang,
         "adversary": _cmd_adversary,
         "experiments": _cmd_experiments,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

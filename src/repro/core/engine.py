@@ -401,7 +401,7 @@ def _fast_algorithm1(
             charge(server, seg.pop(server), when)
 
     # plain python lists: element access in the hot loop stays scalar
-    pred = [bool(b) for b in within]
+    pred = within.tolist()
     times = trace.times.tolist()
     servers = trace.servers.tolist()
 

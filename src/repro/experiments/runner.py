@@ -16,6 +16,15 @@ make the parallelism safe to adopt everywhere:
 * **Cheap dispatch** — jobs are tiny tuples; traces and factories reach
   the workers through fork-inherited module state (never pickled), and
   jobs are chunked to amortise the remaining IPC.
+* **Columnar trace hand-off** — a large trace (``spill_threshold``
+  requests and up, with ``workers > 1``) is not handed to workers as a
+  Python object at all: the parent writes its columns once to a
+  content-addressed ``<digest>.npz`` spool file and the context carries
+  only ``(digest, path)``.  Each worker memory-maps the file on first
+  use (``load_trace_npz(mmap=True)``) and caches it by digest, so all
+  processes share one physical copy of the columns through the OS page
+  cache — nothing is pickled, nothing is duplicated per worker, and the
+  arrays the workers compute on are the exact bytes the parent hashed.
 
 On platforms without the ``fork`` start method (or with ``workers<=1``)
 execution falls back to the identical in-process code path.
@@ -27,9 +36,11 @@ import itertools
 import multiprocessing
 import os
 import sys
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..analysis.sweep import SweepPoint, SweepResult, algorithm1_factory
@@ -162,6 +173,10 @@ class ExperimentResult:
 # ----------------------------------------------------------------------
 _WORKER_CONTEXT: dict[str, Any] | None = None
 
+#: per-process cache of spooled traces, keyed by content digest — one
+#: mmap per worker process regardless of how many chunks touch the trace
+_TRACE_MEMO: dict[str, Trace] = {}
+
 
 def _ctx() -> dict[str, Any]:
     if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
@@ -169,9 +184,29 @@ def _ctx() -> dict[str, Any]:
     return _WORKER_CONTEXT
 
 
+def _resolve_trace(trace_key: tuple) -> Trace:
+    """The trace for ``trace_key``: fork-inherited object, or a lazily
+    memory-mapped spool file shared by every process (see the module
+    docstring's columnar hand-off note)."""
+    ctx = _ctx()
+    trace = ctx["traces"].get(trace_key)
+    if trace is not None:
+        return trace
+    digest, path = ctx["trace_files"][trace_key]
+    trace = _TRACE_MEMO.get(digest)
+    if trace is None:
+        from ..system.trace_io import load_trace_npz
+
+        # the parent validated the trace before spooling it; skipping
+        # re-validation keeps the load O(1) (no page is faulted in)
+        trace = load_trace_npz(path, mmap=True, validate=False)
+        _TRACE_MEMO[digest] = trace
+    return trace
+
+
 def _opt_task(item: tuple[tuple, float]) -> tuple[tuple, float, float]:
     trace_key, lam = item
-    trace: Trace = _ctx()["traces"][trace_key]
+    trace = _resolve_trace(trace_key)
     opt = optimal_cost(trace, CostModel(lam=lam, n=trace.n))
     return trace_key, lam, opt
 
@@ -190,7 +225,7 @@ def _slab_chunk_task(
     trace_key, lam, cells = item
     ctx = _ctx()
     scenario: Scenario = ctx["scenario"]
-    trace: Trace = ctx["traces"][trace_key]
+    trace = _resolve_trace(trace_key)
     engine = ctx.get("engine", "auto")
     model = CostModel(lam=lam, n=trace.n)
     runs = run_slab(
@@ -322,7 +357,21 @@ class ExperimentRunner:
         ``"batch"``/``"fast"``/``"reference"`` force one engine.
         Results are bit-identical across engines, so the result cache is
         shared between them.
+    spill_dir:
+        Directory for content-addressed ``<digest>.npz`` trace spool
+        files (the columnar worker hand-off).  ``None`` (default) uses a
+        per-run temporary directory that is removed when the run ends; a
+        persistent directory is reused across runs (files are keyed by
+        trace content, so stale entries are impossible).
+    spill_threshold:
+        Minimum trace length (requests) for the spool hand-off; shorter
+        traces ride along in the fork-inherited context as before.
+        ``None`` disables spooling entirely.
     """
+
+    #: traces at least this long are handed to workers by digest + mmap
+    #: path instead of as in-context objects
+    DEFAULT_SPILL_THRESHOLD = 100_000
 
     def __init__(
         self,
@@ -331,6 +380,8 @@ class ExperimentRunner:
         chunk_size: int | None = None,
         progress: ProgressReporter | None = None,
         engine: str | Engine = "auto",
+        spill_dir: str | os.PathLike[str] | None = None,
+        spill_threshold: int | None = DEFAULT_SPILL_THRESHOLD,
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -339,6 +390,8 @@ class ExperimentRunner:
         self.chunk_size = chunk_size
         self.progress = progress if progress is not None else NullProgress()
         self.engine = engine
+        self.spill_dir = spill_dir
+        self.spill_threshold = spill_threshold
 
     # ------------------------------------------------------------------
     def run(self, scenario: str | Scenario) -> ExperimentResult:
@@ -434,6 +487,57 @@ class ExperimentRunner:
         return report
 
     # ------------------------------------------------------------------
+    def _spool_traces(
+        self, traces: Mapping[tuple, Trace], digests: Mapping[tuple, str]
+    ) -> tuple[dict[tuple, Trace], dict[tuple, tuple[str, str]], Any]:
+        """Write spool-eligible traces to content-addressed npz files.
+
+        Returns ``(inherit, trace_files, cleanup)``: the traces the
+        worker context keeps as objects, a ``trace_key -> (digest,
+        path)`` map for the spooled ones, and a zero-argument cleanup
+        callable (a no-op when a persistent ``spill_dir`` is configured,
+        whose content-addressed files are reusable across runs).
+        """
+        threshold = self.spill_threshold
+        # spool only when the run will actually fork workers: the
+        # in-process fallback (workers <= 1, or no fork start method)
+        # would map the files in the parent for no benefit
+        if (
+            threshold is None
+            or self.workers <= 1
+            or _fork_context() is None
+        ):
+            return dict(traces), {}, lambda: None
+        big = [k for k, tr in traces.items() if len(tr) >= threshold]
+        if not big:
+            return dict(traces), {}, lambda: None
+        from ..system.trace_io import save_trace_npz
+
+        if self.spill_dir is not None:
+            root = Path(self.spill_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            cleanup: Any = lambda: None
+        else:
+            tmp = tempfile.TemporaryDirectory(
+                prefix="repro-trace-spool-", ignore_cleanup_errors=True
+            )
+            root = Path(tmp.name)
+            cleanup = tmp.cleanup
+        trace_files: dict[tuple, tuple[str, str]] = {}
+        for k in big:
+            digest = digests[k]
+            path = root / f"{digest}.npz"
+            if not path.exists():
+                # write-then-rename: a persistent spool dir may be shared
+                # by concurrent runs, and the digest names the content
+                tmp_path = root / f".{digest}.{os.getpid()}.tmp.npz"
+                save_trace_npz(traces[k], tmp_path)
+                os.replace(tmp_path, path)
+            trace_files[k] = (digest, str(path))
+        inherit = {k: tr for k, tr in traces.items() if k not in trace_files}
+        return inherit, trace_files, cleanup
+
+    # ------------------------------------------------------------------
     def _chunk_size(self, n_tasks: int) -> int:
         if self.chunk_size is not None:
             return max(1, self.chunk_size)
@@ -485,7 +589,15 @@ class ExperimentRunner:
                 traces[job.trace_key] = tr
                 digests[job.trace_key] = trace_digest(tr)
 
-        context = {"scenario": scenario, "traces": traces, "engine": engine}
+        # large traces are handed off by digest + mmap path, small ones
+        # ride along in the fork-inherited context
+        inherit, trace_files, spool_cleanup = self._spool_traces(traces, digests)
+        context = {
+            "scenario": scenario,
+            "traces": inherit,
+            "trace_files": trace_files,
+            "engine": engine,
+        }
         opts: dict[tuple[tuple, float], float] = {}
         online: dict[int, tuple[float, bool]] = {}
 
@@ -542,30 +654,33 @@ class ExperimentRunner:
         # on the (expensive) DP before simulations start
         tasks = [("opt", _opt_task, pair) for pair in opt_misses]
         tasks += [("sim", _slab_chunk_task, chunk) for chunk in chunks]
-        with _Executor(self.workers, context) as ex:
-            for tag, result in ex.run_tagged(tasks):
-                if tag == "opt":
-                    tk, lam, opt = result
-                    opts[(tk, lam)] = opt
-                    out.opt_executed += 1
-                    self.cache.put(
-                        self._opt_payload(scenario, digests[tk], lam),
-                        {"optimal_cost": opt},
-                    )
-                    if optimal_cache is not None and single_trace:
-                        optimal_cache[lam] = opt
-                    continue
-                for index, cost in result:
-                    online[index] = (cost, False)
-                    out.executed += 1
-                    job = by_index[index]
-                    sim_cache.put(
-                        self._sim_payload(
-                            scenario, digests[job.trace_key], job
-                        ),
-                        {"online_cost": cost},
-                    )
-                    self.progress.update()
+        try:
+            with _Executor(self.workers, context) as ex:
+                for tag, result in ex.run_tagged(tasks):
+                    if tag == "opt":
+                        tk, lam, opt = result
+                        opts[(tk, lam)] = opt
+                        out.opt_executed += 1
+                        self.cache.put(
+                            self._opt_payload(scenario, digests[tk], lam),
+                            {"optimal_cost": opt},
+                        )
+                        if optimal_cache is not None and single_trace:
+                            optimal_cache[lam] = opt
+                        continue
+                    for index, cost in result:
+                        online[index] = (cost, False)
+                        out.executed += 1
+                        job = by_index[index]
+                        sim_cache.put(
+                            self._sim_payload(
+                                scenario, digests[job.trace_key], job
+                            ),
+                            {"online_cost": cost},
+                        )
+                        self.progress.update()
+        finally:
+            spool_cleanup()
 
         for job in jobs:
             cost, was_cached = online[job.index]

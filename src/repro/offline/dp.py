@@ -104,7 +104,7 @@ def optimal_cost(trace: Trace, model: CostModel) -> float:
 
     # vectorized scan inputs (numpy), consumed as plain lists in the walk
     times_arr = np.concatenate(([0.0], trace.times))
-    nxt_arr = np.asarray(trace.next_local_time(), dtype=float)
+    nxt_arr = trace.next_local_time()  # float64 column, no conversion
     gap_costs = (np.diff(times_arr) * rate).tolist()   # bridging charge per gap
     keep_costs = ((nxt_arr - times_arr) * rate).tolist()  # keep charge per request
     times = times_arr.tolist()

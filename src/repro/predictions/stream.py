@@ -64,7 +64,7 @@ def truth_within_array(trace: Trace, lam: float) -> np.ndarray:
     :func:`repro.predictions.oracle.ground_truth_within` query by query,
     including the "no further request means beyond" convention.
     """
-    nxt = np.asarray(trace.next_local_time(), dtype=float)
+    nxt = trace.next_local_time()  # float64 column, no conversion
     times = np.concatenate(([0.0], trace.times))
     # identical scalar comparison to the bisect path: times[i] <= time + lam
     return nxt <= times + lam

@@ -8,11 +8,17 @@ from .multi_object import (
     split_trace_by_object,
 )
 from .trace_io import (
+    TRACE_FORMATS,
+    detect_trace_format,
     load_access_log_csv,
+    load_trace,
     load_trace_csv,
     load_trace_jsonl,
+    load_trace_npz,
+    save_trace,
     save_trace_csv,
     save_trace_jsonl,
+    save_trace_npz,
 )
 
 __all__ = [
@@ -21,9 +27,15 @@ __all__ = [
     "FleetReport",
     "MultiObjectSystem",
     "split_trace_by_object",
+    "TRACE_FORMATS",
+    "detect_trace_format",
+    "save_trace",
+    "load_trace",
     "save_trace_csv",
     "load_trace_csv",
     "save_trace_jsonl",
     "load_trace_jsonl",
+    "save_trace_npz",
+    "load_trace_npz",
     "load_access_log_csv",
 ]

@@ -15,6 +15,7 @@ from .ibm_like import (
 )
 from .synthetic import (
     assign_servers_zipf,
+    dedupe_times,
     bursty_trace,
     diurnal_trace,
     periodic_trace,
@@ -35,6 +36,7 @@ __all__ = [
     "IBM_TRACE_SPAN",
     "zipf_server_probabilities",
     "assign_servers_zipf",
+    "dedupe_times",
     "poisson_trace",
     "bursty_trace",
     "periodic_trace",

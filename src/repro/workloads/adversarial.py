@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.costs import CostModel
 from ..core.policy import ReplicationPolicy
 from ..core.simulator import InteractiveSimulation, SimulationResult
@@ -51,18 +53,14 @@ def robustness_tight_trace(
     if eps is None:
         eps = alpha * lam * 1e-3
     gap = alpha * lam + eps
-    items: list[tuple[float, int]] = []
     # dummy r_0 at server 0 / time 0 is implicit; r_1 at server 1 at eps,
     # then the servers alternate with per-server gap alpha*lambda + eps.
-    for i in range(1, m + 1):
-        if i % 2 == 1:  # r_1, r_3, ... at server 1
-            t = eps + (i - 1) / 2 * gap
-            items.append((t, 1))
-        else:  # r_2, r_4, ... at server 0
-            t = i / 2 * gap
-            items.append((t, 0))
-    items.sort()
-    return Trace(2, items)
+    i = np.arange(1, m + 1, dtype=float)
+    odd = np.arange(1, m + 1) % 2 == 1
+    times = np.where(odd, eps + (i - 1) / 2 * gap, i / 2 * gap)
+    servers = odd.astype(np.int64)  # r_1, r_3, ... at server 1
+    order = np.lexsort((servers, times))
+    return Trace.from_arrays(times[order], servers[order], n=2)
 
 
 def consistency_tight_trace(
@@ -81,17 +79,27 @@ def consistency_tight_trace(
         raise ValueError(f"need >= 1 cycle, got {cycles}")
     if eps is None:
         eps = lam * 1e-4
-    items: list[tuple[float, int]] = []
+    # cycle starts t0_c satisfy t0_{c+1} = (t0_c + 2*lam) + eps; the
+    # interleaved accumulate reproduces that two-step addition chain bit
+    # for bit (ufunc.accumulate == repeated left-to-right additions)
+    inc = np.empty(2 * cycles)
+    inc[0::2] = 2 * lam
+    inc[1::2] = eps
+    acc = np.add.accumulate(inc)
+    t0 = np.concatenate(([0.0], acc[1::2][:-1]))
+    times = np.empty(3 * cycles)
+    times[0::3] = t0 + lam                # r_1 at the other server
+    times[1::3] = (t0 + lam) + eps        # r_2 back at r_0's server
+    times[2::3] = acc[1::2]               # r_3 = next cycle's r_0
     # roles (a = "server of r_0", b = other) swap every cycle
-    a, b = 0, 1
-    t0 = 0.0
-    for _ in range(cycles):
-        items.append((t0 + lam, b))            # r_1 at the other server
-        items.append((t0 + lam + eps, a))      # r_2 back at r_0's server
-        items.append((t0 + 2 * lam + eps, b))  # r_3 = next cycle's r_0
-        t0 = t0 + 2 * lam + eps
-        a, b = b, a
-    return Trace(2, items)
+    c = np.arange(cycles, dtype=np.int64)
+    a = c % 2
+    b = 1 - a
+    servers = np.empty(3 * cycles, dtype=np.int64)
+    servers[0::3] = b
+    servers[1::3] = a
+    servers[2::3] = b
+    return Trace.from_arrays(times, servers, n=2)
 
 
 def wang_counterexample_trace(
@@ -113,8 +121,8 @@ def wang_counterexample_trace(
     if eps is None:
         eps = lam * 1e-4
     # paper times: t2 = eps, t3 = 2 lam + 2 eps, t4 = 4 lam + 3 eps, ...
-    items = [(eps + k * (2 * lam + eps), 1) for k in range(m)]
-    return Trace(2, items)
+    times = eps + np.arange(m, dtype=float) * (2 * lam + eps)
+    return Trace.from_arrays(times, np.ones(m, dtype=np.int64), n=2)
 
 
 @dataclass

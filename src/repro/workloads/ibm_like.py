@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.trace import Trace
-from .synthetic import assign_servers_zipf
+from .synthetic import assign_servers_zipf, dedupe_times
 
 __all__ = ["ibm_like_arrivals", "ibm_like_trace", "IBM_TRACE_REQUESTS", "IBM_TRACE_SPAN"]
 
@@ -65,11 +65,7 @@ def ibm_like_arrivals(
     t = np.cumsum(gaps * (1.0 + 0.45 * np.sin(phase)))
     # rescale to the exact span, keep strictly positive increasing times
     t = t / t[-1] * span
-    t = np.maximum.accumulate(t)
-    for i in range(1, len(t)):
-        if t[i] <= t[i - 1]:
-            t[i] = t[i - 1] + 1e-6
-    return t
+    return dedupe_times(np.maximum.accumulate(t), min_sep=1e-6)
 
 
 def ibm_like_trace(

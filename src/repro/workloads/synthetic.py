@@ -15,6 +15,7 @@ from ..core.trace import Trace
 __all__ = [
     "zipf_server_probabilities",
     "assign_servers_zipf",
+    "dedupe_times",
     "poisson_trace",
     "bursty_trace",
     "periodic_trace",
@@ -41,15 +42,28 @@ def assign_servers_zipf(
     probs = zipf_server_probabilities(n, exponent)
     servers = rng.choice(n, size=len(times), p=probs)
     times = np.sort(np.asarray(times, dtype=float))
-    times = _dedupe_times(times)
+    times = dedupe_times(times)
     return Trace.from_arrays(times, servers, n=n)
 
 
-def _dedupe_times(times: np.ndarray, min_sep: float = 1e-9) -> np.ndarray:
+def dedupe_times(times: np.ndarray, min_sep: float = 1e-9) -> np.ndarray:
     """Enforce strictly increasing times (the paper assumes distinct
-    arrival instants) by nudging collisions forward."""
+    arrival instants) by nudging collisions forward.
+
+    The already-strictly-increasing common case is detected with one
+    vectorized comparison and returned as-is (no copy); only a trace
+    with actual collisions falls back to the sequential nudge, starting
+    at the first violation (the nudge recurrence ``out[i] = out[i-1] +
+    min_sep`` depends on its own output, so the fallback stays a loop to
+    keep the produced times bit-identical).
+    """
+    times = np.asarray(times, dtype=float)
+    m = len(times)
+    if m == 0 or bool(np.all(times[1:] > times[:-1])):
+        return times
     out = times.copy()
-    for i in range(1, len(out)):
+    start = int(np.argmax(out[1:] <= out[:-1])) + 1
+    for i in range(start, m):
         if out[i] <= out[i - 1]:
             out[i] = out[i - 1] + min_sep
     return out
@@ -73,7 +87,7 @@ def poisson_trace(
     m = rng.poisson(rate * horizon)
     times = np.sort(rng.uniform(0.0, horizon, size=m))
     times = times[times > 0]
-    times = _dedupe_times(times)
+    times = dedupe_times(times)
     if zipf_exponent is None:
         servers = rng.integers(0, n, size=len(times))
         return Trace.from_arrays(times, servers, n=n)
@@ -97,19 +111,21 @@ def bursty_trace(
     """
     rng = np.random.default_rng(seed)
     probs = zipf_server_probabilities(n)
-    items: list[tuple[float, int]] = []
+    time_parts: list[np.ndarray] = []
+    burst_servers = np.empty(n_bursts, dtype=np.int64)
     t = 0.0
-    for _ in range(n_bursts):
+    for b in range(n_bursts):
         t += rng.exponential(quiet_gap)
-        server = int(rng.choice(n, p=probs))
+        burst_servers[b] = int(rng.choice(n, p=probs))
         offsets = np.sort(rng.uniform(0.0, burst_spread, size=burst_size))
-        for off in offsets:
-            items.append((t + off, server))
+        time_parts.append(t + offsets)
         t += burst_spread
-    items.sort()
-    times = _dedupe_times(np.array([x[0] for x in items]))
-    servers = [x[1] for x in items]
-    return Trace.from_arrays(times, servers, n=n)
+    times = (
+        np.concatenate(time_parts) if time_parts else np.empty(0, dtype=float)
+    )
+    servers = np.repeat(burst_servers, burst_size)
+    order = np.lexsort((servers, times))
+    return Trace.from_arrays(dedupe_times(times[order]), servers[order], n=n)
 
 
 def periodic_trace(
@@ -125,16 +141,15 @@ def periodic_trace(
     hand-checkable tests.
     """
     rng = np.random.default_rng(seed)
-    items: list[tuple[float, int]] = []
-    for c in range(cycles):
-        for s in range(n):
-            base = (c * n + s + 1) * period
-            t = base + (rng.uniform(-jitter, jitter) if jitter else 0.0)
-            items.append((max(t, 1e-9), s))
-    items.sort()
-    times = _dedupe_times(np.array([x[0] for x in items]))
-    servers = [x[1] for x in items]
-    return Trace.from_arrays(times, servers, n=n)
+    base = np.arange(1, cycles * n + 1, dtype=float) * period
+    if jitter:
+        times = base + rng.uniform(-jitter, jitter, size=cycles * n)
+    else:
+        times = base
+    times = np.maximum(times, 1e-9)
+    servers = np.tile(np.arange(n, dtype=np.int64), cycles)
+    order = np.lexsort((servers, times))
+    return Trace.from_arrays(dedupe_times(times[order]), servers[order], n=n)
 
 
 def diurnal_trace(
@@ -184,16 +199,18 @@ def diurnal_trace(
     sizes = 1 + np.minimum(
         rng.pareto(tail_exponent, size=len(starts)), max_session - 1
     ).astype(int)
-    items: list[tuple[float, int]] = []
-    for t0, server, size in zip(starts, servers, sizes):
-        offsets = np.sort(rng.uniform(0.0, session_spread, size=size))
-        for off in offsets:
-            items.append((t0 + off, int(server)))
-    items.sort()
-    times = _dedupe_times(
-        np.maximum(np.array([x[0] for x in items]), 1e-9)
-    )
-    return Trace.from_arrays(times, [x[1] for x in items], n=n)
+    # one batched draw consumes the PCG64 stream exactly as the per-
+    # session draws would; a lexsort keyed by session id sorts every
+    # session's offsets at once (the per-session np.sort equivalent)
+    total = int(sizes.sum())
+    draws = rng.uniform(0.0, session_spread, size=total)
+    session_ids = np.repeat(np.arange(len(sizes)), sizes)
+    offsets = draws[np.lexsort((draws, session_ids))]
+    times = np.repeat(starts, sizes) + offsets
+    req_servers = np.repeat(servers.astype(np.int64), sizes)
+    order = np.lexsort((req_servers, times))
+    times = dedupe_times(np.maximum(times[order], 1e-9))
+    return Trace.from_arrays(times, req_servers[order], n=n)
 
 
 def uniform_random_trace(
@@ -205,6 +222,6 @@ def uniform_random_trace(
     """
     rng = np.random.default_rng(seed)
     times = np.sort(rng.uniform(horizon * 1e-6, horizon, size=m))
-    times = _dedupe_times(times)
+    times = dedupe_times(times)
     servers = rng.integers(0, n, size=m)
     return Trace.from_arrays(times, servers, n=n)

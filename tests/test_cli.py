@@ -84,3 +84,49 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "heat map" in out and "legend" in out
+
+
+class TestTraceCommand:
+    def _save(self, tmp_path, name="w.csv"):
+        from repro.system import save_trace
+        from repro.workloads import uniform_random_trace
+
+        tr = uniform_random_trace(4, 120, 1000.0, seed=9)
+        path = tmp_path / name
+        save_trace(tr, path)
+        return tr, path
+
+    def test_info_prints_format_and_summary(self, tmp_path, capsys):
+        _, path = self._save(tmp_path)
+        assert main(["trace", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "format          csv" in out
+        assert "requests (m)    120" in out
+        assert "servers (n)     4" in out
+
+    def test_info_mmap_npz(self, tmp_path, capsys):
+        from repro.system import save_trace_npz
+        from repro.workloads import uniform_random_trace
+
+        path = tmp_path / "w.npz"
+        save_trace_npz(uniform_random_trace(3, 50, 100.0, seed=1), path)
+        assert main(["trace", "info", str(path), "--mmap"]) == 0
+        assert "memory-mapped" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("dst_ext", ["npz", "jsonl.gz", "csv.gz"])
+    def test_convert_round_trip(self, tmp_path, capsys, dst_ext):
+        from repro.experiments.cache import trace_digest
+        from repro.system import load_trace
+
+        tr, src = self._save(tmp_path)
+        dst = tmp_path / f"w.{dst_ext}"
+        assert main(["trace", "convert", str(src), str(dst)]) == 0
+        assert trace_digest(load_trace(dst)) == trace_digest(tr)
+        assert dst_ext in capsys.readouterr().out
+
+    def test_unknown_format_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "info", str(tmp_path / "x.parquet")]) == 2
+        assert "cannot detect" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "info", str(tmp_path / "missing.csv")]) == 2
