@@ -25,7 +25,6 @@ perf runs.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -152,31 +151,22 @@ def test_batch_speedup(benchmark, paper_trace):
 
 
 def main(argv=None) -> int:
+    from benchcli import gate_exit, parse_flags, write_report
+
     args = list(sys.argv[1:] if argv is None else argv)
-    out = os.path.join(os.path.dirname(__file__), "BENCH_batch.json")
-    if "--out" in args:
-        out = args[args.index("--out") + 1]
-    gate = MIN_SPEEDUP
-    if "--gate" in args:
-        gate = float(args[args.index("--gate") + 1])
-    strict = "--strict" in args
+    out, gate, strict = parse_flags(
+        args,
+        os.path.join(os.path.dirname(__file__), "BENCH_batch.json"),
+        MIN_SPEEDUP,
+    )
     report = run_batch_grid()
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_report(report, out)
     print(
         f"fig25 smoke grid ({report['cells']} cells, m={SMOKE_M}): "
         f"fast {report['fast_s']:.3f}s, batch {report['batch_s']:.3f}s, "
         f"speedup {report['speedup']:.1f}x -> {out}"
     )
-    if report["speedup"] < gate:
-        print(
-            f"{'FAIL' if strict else 'WARNING'}: speedup below the "
-            f"{gate:g}x gate",
-            file=sys.stderr,
-        )
-        return 1 if strict else 0
-    return 0
+    return gate_exit(report["speedup"], gate, strict, label="speedup")
 
 
 if __name__ == "__main__":

@@ -22,7 +22,6 @@ the pytest entry point keeps the gate for dedicated perf runs).
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -135,29 +134,23 @@ def test_engine_speedup(benchmark, paper_trace):
 
 
 def main(argv=None) -> int:
+    from benchcli import gate_exit, parse_flags, write_report
+
     args = list(sys.argv[1:] if argv is None else argv)
-    out = os.path.join(os.path.dirname(__file__), "BENCH_engines.json")
-    if "--out" in args:
-        out = args[args.index("--out") + 1]
-    strict = "--strict" in args
+    out, gate, strict = parse_flags(
+        args,
+        os.path.join(os.path.dirname(__file__), "BENCH_engines.json"),
+        MIN_SPEEDUP,
+    )
     report = run_engine_grid()
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_report(report, out)
     print(
         f"engines smoke grid ({len(report['cells'])} cells, "
         f"m={SMOKE_M}): reference {report['reference_s']:.3f}s, "
         f"fast {report['fast_s']:.3f}s, speedup {report['speedup']:.1f}x "
         f"-> {out}"
     )
-    if report["speedup"] < MIN_SPEEDUP:
-        print(
-            f"{'FAIL' if strict else 'WARNING'}: speedup below the "
-            f"{MIN_SPEEDUP:g}x gate",
-            file=sys.stderr,
-        )
-        return 1 if strict else 0
-    return 0
+    return gate_exit(report["speedup"], gate, strict, label="speedup")
 
 
 if __name__ == "__main__":

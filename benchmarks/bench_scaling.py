@@ -1,60 +1,239 @@
-"""Engineering benchmarks: simulator throughput and offline DP scaling.
+"""Engine-tier scaling sweep: trace size x engine, per-cell wall clock.
 
-Not a paper figure — these justify that the reproduction comfortably
-handles the paper's workload sizes and beyond (the DP is O(m n), the
-simulator O(m log n) amortised).
+Sweeps the engine registry (reference, fast, batch, kernel) over
+growing IBM-like traces on a compact Algorithm-1 grid and records the
+per-cell cost of each tier — the measurements behind the ``auto``
+selection crossovers (:data:`repro.core.engine.KERNEL_MIN_M` /
+:data:`KERNEL_SLAB_MIN_M`).  Per-cell costs are asserted bit-identical
+across every tier at every size; the reference simulator runs only at
+the smallest size (it exists to anchor correctness, not throughput).
+
+Standalone use (the CI smoke step runs this via ``repro bench``)::
+
+    python benchmarks/bench_scaling.py [--out benchmarks/BENCH_scaling.json]
+                                       [--sizes 2000,20000,200000]
+                                       [--gate 2.0] [--strict]
+
+writes ``BENCH_scaling.json`` with one row per ``(size, engine)`` plus
+a speedup summary at the largest size.  The gate requires the kernel
+tier to beat the batch tier per cell at the largest size by the given
+factor (default :data:`MIN_SPEEDUP`); it only fails the process under
+``--strict`` — CI runs ``--gate 1.0 --strict``.
 """
 
 from __future__ import annotations
 
-import pytest
+import os
+import sys
+import time
 
-from repro import (
-    ConventionalReplication,
-    CostModel,
-    LearningAugmentedReplication,
-    OraclePredictor,
-    optimal_cost,
-    simulate,
-)
-from repro.workloads import poisson_trace
+try:
+    import pytest
+except ImportError:  # pragma: no cover - `repro bench` without test deps
+    pytest = None
 
-from conftest import emit
+SCALE_LAMBDA = 10.0
+SMOKE_N = 10
+SMOKE_SEED = 0
+DEFAULT_SIZES = (2_000, 20_000, 200_000)
+
+#: the compact grid: enough cells to amortise slab passes, small enough
+#: that per-cell tiers stay affordable at every size
+SCALE_ALPHAS = (0.2, 0.5, 0.8, 1.0)
+SCALE_ACCURACIES = (0.0, 0.6, 1.0)
+
+#: reference-tier ceiling: the event simulator only runs at sizes
+#: at or below this (one cell of it costs more than a whole slab above)
+REFERENCE_MAX_M = 2_000
+
+#: kernel-over-batch per-cell gate at the largest swept size; locally
+#: measured ~18x at 200k requests on this 12-cell grid (narrow slabs
+#: amortise the batch engine's shared trace pass poorly — on the full
+#: 121-cell fig25 grid the same comparison is ~5x, see BENCH_kernel.json)
+MIN_SPEEDUP = 2.0
+
+#: quick profile appended by `repro bench --quick` (the CI smoke step)
+QUICK_ARGS = ["--sizes", "2000,20000,50000"]
 
 
-@pytest.mark.parametrize("m", [1_000, 10_000, 40_000])
-def test_simulator_throughput(benchmark, m):
-    trace = poisson_trace(n=10, rate=1.0, horizon=float(m), seed=1)
-    model = CostModel(lam=50.0, n=10)
+def _cells():
+    return [
+        (alpha, acc, SMOKE_SEED)
+        for alpha in SCALE_ALPHAS
+        for acc in SCALE_ACCURACIES
+    ]
 
-    def unit():
-        pol = ConventionalReplication()
-        return simulate(trace, model, pol).total_cost
 
-    result = benchmark(unit)
-    assert result > 0
-    emit(
-        f"simulator throughput (m~{m})",
-        f"{len(trace)} requests simulated per call",
+def _time_per_cell(engine_name, trace, model, cells):
+    """One timed pass of the whole cell set on one engine tier.
+
+    Slab-capable tiers (batch, kernel) run their ``run_slab`` path; the
+    per-cell tiers replay cell by cell — exactly how each tier is used
+    by the layers above.
+    """
+    from repro.analysis.sweep import algorithm1_factory
+    from repro.core.engine import get_engine
+
+    engine = get_engine(engine_name)
+    t0 = time.perf_counter()
+    if hasattr(engine, "run_slab"):
+        runs = engine.run_slab(trace, model, algorithm1_factory, cells)
+    else:
+        runs = [
+            engine.run(
+                trace, model,
+                algorithm1_factory(trace, model.lam, alpha, acc, seed),
+            )
+            for alpha, acc, seed in cells
+        ]
+    elapsed = time.perf_counter() - t0
+    return elapsed, runs
+
+
+def run_scaling_sweep(sizes=DEFAULT_SIZES) -> dict:
+    """Sweep trace size x engine tier; returns the report dict."""
+    from repro.core.costs import CostModel
+    from repro.workloads import ibm_like_trace
+
+    cells = _cells()
+    rows = []
+    for m in sizes:
+        trace = ibm_like_trace(n=SMOKE_N, m=m, seed=SMOKE_SEED)
+        model = CostModel(lam=SCALE_LAMBDA, n=trace.n)
+        engines = ["fast", "batch", "kernel"]
+        if m <= REFERENCE_MAX_M:
+            engines.insert(0, "reference")
+        costs = None
+        for name in engines:
+            elapsed, runs = _time_per_cell(name, trace, model, cells)
+            got = [(r.storage_cost, r.transfer_cost) for r in runs]
+            if costs is None:
+                costs = got
+            else:
+                assert got == costs, f"cost mismatch: {name} at m={m}"
+            rows.append(
+                {
+                    "m": m,
+                    "engine": name,
+                    "cells": len(cells),
+                    "total_s": elapsed,
+                    "per_cell_ms": elapsed / len(cells) * 1e3,
+                }
+            )
+    largest = max(sizes)
+    at_top = {
+        r["engine"]: r["per_cell_ms"] for r in rows if r["m"] == largest
+    }
+    return {
+        "grid": {
+            "lam": SCALE_LAMBDA,
+            "alphas": SCALE_ALPHAS,
+            "accuracies": SCALE_ACCURACIES,
+        },
+        "trace": {"workload": "ibm_like", "n": SMOKE_N, "seed": SMOKE_SEED},
+        "sizes": list(sizes),
+        "rows": rows,
+        "kernel_vs_batch_at_largest": at_top["batch"] / at_top["kernel"],
+        "kernel_vs_fast_at_largest": at_top["fast"] / at_top["kernel"],
+    }
+
+
+def format_rows(report: dict) -> str:
+    lines = ["       m     engine  cells  total      per-cell"]
+    for r in report["rows"]:
+        lines.append(
+            f"{r['m']:>8d} {r['engine']:>10s} {r['cells']:>6d} "
+            f"{r['total_s']:>7.2f}s {r['per_cell_ms']:>10.2f}ms"
+        )
+    return "\n".join(lines)
+
+
+def test_engine_tier_scaling(benchmark):
+    """Every tier agrees bit for bit; kernel wins per cell at scale."""
+    from conftest import emit
+    from repro.analysis.sweep import algorithm1_factory
+    from repro.core.costs import CostModel
+    from repro.core.engine import KernelCostEngine
+    from repro.workloads import ibm_like_trace
+
+    report = run_scaling_sweep(sizes=(2_000, 20_000))
+    emit("Engine tier scaling (size x tier, per-cell)", format_rows(report))
+    assert report["kernel_vs_batch_at_largest"] >= 1.0
+    assert report["kernel_vs_fast_at_largest"] >= 1.0
+
+    trace = ibm_like_trace(n=SMOKE_N, m=20_000, seed=SMOKE_SEED)
+    model = CostModel(lam=SCALE_LAMBDA, n=trace.n)
+    kernel = KernelCostEngine()
+    cells = _cells()
+    benchmark(
+        lambda: kernel.run_slab(trace, model, algorithm1_factory, cells)
     )
 
 
-@pytest.mark.parametrize("m", [1_000, 10_000, 40_000])
-def test_offline_dp_scaling(benchmark, m):
-    trace = poisson_trace(n=10, rate=1.0, horizon=float(m), seed=2)
-    model = CostModel(lam=50.0, n=10)
-    result = benchmark(lambda: optimal_cost(trace, model))
-    assert result > 0
+if pytest is not None:
+    @pytest.mark.parametrize("m", [1_000, 10_000, 40_000])
+    def test_offline_dp_scaling(benchmark, m):
+        """The offline DP stays near-linear at growing trace sizes
+        (carried over from the pre-registry version of this file)."""
+        from repro import CostModel, optimal_cost
+        from repro.workloads import poisson_trace
+
+        trace = poisson_trace(n=10, rate=1.0, horizon=float(m), seed=2)
+        model = CostModel(lam=50.0, n=10)
+        result = benchmark(lambda: optimal_cost(trace, model))
+        assert result > 0
 
 
 def test_end_to_end_ratio_paper_scale(benchmark, paper_trace):
-    """One complete experiment cell at the paper's full trace size."""
+    """One complete experiment cell at the paper's full trace size keeps
+    the 2-competitive bound (carried over from the pre-registry
+    version of this file); the cell runs on the kernel tier."""
+    from repro import (
+        CostModel,
+        KernelCostEngine,
+        LearningAugmentedReplication,
+        OraclePredictor,
+        optimal_cost,
+    )
+
     model = CostModel(lam=1000.0, n=paper_trace.n)
     opt = optimal_cost(paper_trace, model)
+    kernel = KernelCostEngine()
 
     def unit():
         pol = LearningAugmentedReplication(OraclePredictor(paper_trace), 0.2)
-        return simulate(paper_trace, model, pol).total_cost / opt
+        return kernel.run(paper_trace, model, pol).total_cost / opt
 
     ratio = benchmark(unit)
     assert 1.0 <= ratio <= 2.0
+
+
+def main(argv=None) -> int:
+    from benchcli import flag_value, gate_exit, parse_flags, write_report
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    out, gate, strict = parse_flags(
+        args,
+        os.path.join(os.path.dirname(__file__), "BENCH_scaling.json"),
+        MIN_SPEEDUP,
+    )
+    raw = flag_value(args, "--sizes")
+    sizes = (
+        tuple(int(s) for s in raw.split(",")) if raw is not None
+        else DEFAULT_SIZES
+    )
+    report = run_scaling_sweep(sizes=sizes)
+    write_report(report, out)
+    print(format_rows(report))
+    speedup = report["kernel_vs_batch_at_largest"]
+    print(
+        f"kernel vs batch per-cell at m={max(sizes)}: {speedup:.2f}x "
+        f"(vs fast: {report['kernel_vs_fast_at_largest']:.2f}x) -> {out}"
+    )
+    return gate_exit(
+        speedup, gate, strict, label="kernel-over-batch speedup"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,6 @@ speedup (the acceptance bar is 10x); CI runs ``--gate 1.0 --strict``
 
 from __future__ import annotations
 
-import json
 import os
 import pickle
 import sys
@@ -170,21 +169,18 @@ def test_trace_columnar_speedup(benchmark):
 
 
 def main(argv=None) -> int:
+    from benchcli import flag_value, gate_exit, parse_flags, write_report
+
     args = list(sys.argv[1:] if argv is None else argv)
-    out = os.path.join(os.path.dirname(__file__), "BENCH_trace.json")
-    if "--out" in args:
-        out = args[args.index("--out") + 1]
-    gate = MIN_SPEEDUP
-    if "--gate" in args:
-        gate = float(args[args.index("--gate") + 1])
-    m = BENCH_M
-    if "--m" in args:
-        m = int(args[args.index("--m") + 1])
-    strict = "--strict" in args
+    out, gate, strict = parse_flags(
+        args,
+        os.path.join(os.path.dirname(__file__), "BENCH_trace.json"),
+        MIN_SPEEDUP,
+    )
+    raw = flag_value(args, "--m")
+    m = int(raw) if raw is not None else BENCH_M
     report = run_trace_bench(m=m)
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_report(report, out)
     c, io, ipc = report["construction"], report["io"], report["ipc"]
     print(
         f"trace bench (m={m}): construction seed {c['seed_s']:.3f}s vs "
@@ -194,14 +190,7 @@ def main(argv=None) -> int:
         f"ipc pickle {ipc['pickle_roundtrip_s'] * 1e3:.1f}ms vs mmap "
         f"{ipc['mmap_handoff_s'] * 1e3:.2f}ms -> {out}"
     )
-    if report["speedup"] < gate:
-        print(
-            f"{'FAIL' if strict else 'WARNING'}: construction speedup "
-            f"below the {gate:g}x gate",
-            file=sys.stderr,
-        )
-        return 1 if strict else 0
-    return 0
+    return gate_exit(report["speedup"], gate, strict, label="construction speedup")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,55 @@
+"""Shared CLI plumbing for the runnable ``bench_*.py`` suites.
+
+Every suite's ``main()`` accepts the same ``--out`` / ``--gate`` /
+``--strict`` flags and ends with the same JSON dump + gate verdict;
+this module is the single copy of that logic (``repro bench`` threads
+the flags through to every suite, so drift here would desynchronise
+the whole smoke pipeline).  Suite-specific flags (``--requests``,
+``--sizes``, ``--m``) stay in the suites.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def flag_value(args: list[str], flag: str) -> str | None:
+    """The value following ``flag``, or None; exits with a usage error
+    when the flag is present but its value is missing."""
+    if flag not in args:
+        return None
+    idx = args.index(flag) + 1
+    if idx >= len(args) or args[idx].startswith("--"):
+        raise SystemExit(f"usage: {flag} requires a value")
+    return args[idx]
+
+
+def parse_flags(args: list[str], default_out: str, default_gate: float):
+    """``(out, gate, strict)`` from the common benchmark flags."""
+    out = flag_value(args, "--out") or default_out
+    gate_raw = flag_value(args, "--gate")
+    try:
+        gate = float(gate_raw) if gate_raw is not None else default_gate
+    except ValueError:
+        raise SystemExit(f"usage: --gate requires a number, got {gate_raw!r}")
+    return out, gate, "--strict" in args
+
+
+def write_report(report: dict, out: str) -> None:
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def gate_exit(speedup: float, gate: float, strict: bool,
+              label: str = "speedup") -> int:
+    """0 when the gate holds; under ``--strict`` a miss fails (1)."""
+    if speedup < gate:
+        print(
+            f"{'FAIL' if strict else 'WARNING'}: {label} below the "
+            f"{gate:g}x gate",
+            file=sys.stderr,
+        )
+        return 1 if strict else 0
+    return 0

@@ -56,6 +56,7 @@ from .core import (
     EventLog,
     FastCostEngine,
     InteractiveSimulation,
+    KernelCostEngine,
     PolicyError,
     ReferenceEngine,
     ReplicationPolicy,
@@ -132,6 +133,7 @@ __all__ = [
     "CostResult",
     "BatchCostEngine",
     "FastCostEngine",
+    "KernelCostEngine",
     "ReferenceEngine",
     "get_engine",
     "run_slab",

@@ -21,6 +21,11 @@ Subcommands
     summary statistics; ``convert`` rewrites a trace between the
     supported formats (csv / csv.gz / jsonl / jsonl.gz / npz), detected
     from the path suffixes.
+``bench``
+    Discover and run the ``benchmarks/bench_*.py`` suites that expose a
+    ``main()`` entry point — one invocation replaces the per-benchmark
+    CI steps (``--gate``/``--strict`` thread through to every suite,
+    ``--quick`` applies each suite's declared smoke profile).
 
 Examples::
 
@@ -30,6 +35,7 @@ Examples::
     repro-replication experiments run fig25 --workers 8
     repro-replication trace info workload.csv.gz
     repro-replication trace convert workload.csv workload.npz
+    repro-replication bench --quick --gate 1.0 --strict --out-dir .
 """
 
 from __future__ import annotations
@@ -88,11 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also render an ASCII heat map per lambda")
     s.add_argument("--engine", choices=ENGINE_NAMES,
                    default="auto",
-                   help="simulation engine: 'batch' = one vectorized pass "
-                   "per (trace, lambda) slab, 'fast' = cost-only "
-                   "slot-state replay per cell, 'reference' = "
-                   "full-telemetry event loop, 'auto' (default) = batch "
-                   "for eligible slabs, fast for single runs")
+                   help="simulation engine: 'kernel' = loop-free "
+                   "segment-scan replay (fastest at scale), 'batch' = "
+                   "one vectorized pass per (trace, lambda) slab, "
+                   "'fast' = cost-only slot-state replay per cell, "
+                   "'reference' = full-telemetry event loop, 'auto' "
+                   "(default) = kernel above its measured crossover, "
+                   "batch/fast below it")
 
     a = sub.add_parser("adaptive", help="Figures 29-32 grid")
     a.add_argument("--lambda", dest="lam", type=float, default=1000.0)
@@ -137,7 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
     er.add_argument("--engine", choices=ENGINE_NAMES,
                     default="auto",
                     help="simulation engine for grid cells (default: auto "
-                    "= batched slab passes where eligible)")
+                    "= loop-free kernel replays or batched slab passes "
+                    "where eligible)")
 
     tr = sub.add_parser("trace", help="trace files: info / convert")
     tsub = tr.add_subparsers(dest="trace_command", required=True)
@@ -151,6 +160,29 @@ def build_parser() -> argparse.ArgumentParser:
                          "(formats detected from the path suffixes)")
     tc.add_argument("src", help="input trace file")
     tc.add_argument("dst", help="output trace file")
+
+    b = sub.add_parser("bench",
+                       help="discover and run the bench_*.py suites")
+    b.add_argument("names", nargs="*", metavar="name",
+                   help="suite names (e.g. 'kernel' for bench_kernel.py); "
+                   "default: every runnable suite")
+    b.add_argument("--list", action="store_true", dest="list_suites",
+                   help="list the discovered suites and exit")
+    b.add_argument("--dir", default="benchmarks", metavar="DIR",
+                   help="directory to discover bench_*.py in "
+                   "(default: ./benchmarks)")
+    b.add_argument("--out-dir", default=None, metavar="DIR",
+                   help="write each suite's BENCH_<name>.json under DIR "
+                   "(default: each suite's own default, next to the "
+                   "benchmark sources)")
+    b.add_argument("--gate", type=float, default=None,
+                   help="pass this wall-clock gate to every suite "
+                   "(default: each suite's own recorded gate)")
+    b.add_argument("--strict", action="store_true",
+                   help="suites fail the process when below the gate")
+    b.add_argument("--quick", action="store_true",
+                   help="apply each suite's declared QUICK_ARGS smoke "
+                   "profile (the CI configuration)")
     return p
 
 
@@ -348,6 +380,94 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
 
 
+def _discover_bench_suites(bench_dir: str) -> dict[str, str]:
+    """Map suite name -> path for every ``bench_*.py`` with a ``main()``.
+
+    Membership is decided from the source text (``def main(``) so that
+    pytest-only figure benchmarks are never imported here.
+    """
+    suites: dict[str, str] = {}
+    try:
+        entries = sorted(os.listdir(bench_dir))
+    except OSError:
+        return suites
+    for fname in entries:
+        if not (fname.startswith("bench_") and fname.endswith(".py")):
+            continue
+        path = os.path.join(bench_dir, fname)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError:
+            continue
+        if "\ndef main(" in source:
+            suites[fname[len("bench_"):-len(".py")]] = path
+    return suites
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import importlib.util
+
+    suites = _discover_bench_suites(args.dir)
+    if not suites:
+        print(f"no runnable bench_*.py suites found in {args.dir!r}",
+              file=sys.stderr)
+        return 2
+    if args.list_suites:
+        width = max(len(n) for n in suites)
+        for name, path in suites.items():
+            print(f"{name:<{width}}  {path}")
+        return 0
+    names = args.names or list(suites)
+    unknown = [n for n in names if n not in suites]
+    if unknown:
+        print(f"unknown suite(s) {unknown}; available: {sorted(suites)}",
+              file=sys.stderr)
+        return 2
+    # suites import their shared helpers (benchcli) as siblings, which
+    # works when run as scripts; mirror that here, restoring sys.path
+    # afterwards so a long-lived caller's imports are not shadowed
+    bench_dir = os.path.abspath(args.dir)
+    inserted = bench_dir not in sys.path
+    if inserted:
+        sys.path.insert(0, bench_dir)
+    failed: list[str] = []
+    try:
+        for name in names:
+            path = suites[name]
+            spec = importlib.util.spec_from_file_location(f"bench_{name}", path)
+            module = importlib.util.module_from_spec(spec)
+            sys.modules[spec.name] = module
+            spec.loader.exec_module(module)
+            argv: list[str] = []
+            if args.out_dir:
+                os.makedirs(args.out_dir, exist_ok=True)
+                argv += [
+                    "--out", os.path.join(args.out_dir, f"BENCH_{name}.json")
+                ]
+            if args.gate is not None:
+                argv += ["--gate", str(args.gate)]
+            if args.strict:
+                argv.append("--strict")
+            if args.quick:
+                argv += list(getattr(module, "QUICK_ARGS", ()))
+            print(f"=== bench {name} {' '.join(argv)}")
+            code = module.main(argv)
+            if code:
+                failed.append(name)
+    finally:
+        if inserted:
+            try:
+                sys.path.remove(bench_dir)
+            except ValueError:
+                pass
+    if failed:
+        print(f"FAILED suites: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"{len(names)} suite(s) passed")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -359,6 +479,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "adversary": _cmd_adversary,
         "experiments": _cmd_experiments,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -8,6 +8,7 @@ from .engine import (
     Engine,
     EngineError,
     FastCostEngine,
+    KernelCostEngine,
     ReferenceEngine,
     get_engine,
     run_slab,
@@ -35,6 +36,7 @@ __all__ = [
     "CostResult",
     "BatchCostEngine",
     "FastCostEngine",
+    "KernelCostEngine",
     "ReferenceEngine",
     "get_engine",
     "run_slab",

@@ -101,6 +101,89 @@ the reference engine otherwise.  :func:`run_slab` is the module-level
 dispatcher the sweep and experiment layers use: it batches whole slabs
 when eligible and falls back to bit-identical per-cell execution when
 not.
+
+The kernel tier: loop-free segment-scan replay
+----------------------------------------------
+Every tier above still walks the trace with a per-request Python loop —
+the fast engine with scalar slot state, the batch engine with one
+vectorized step per request.  On million-request columnar traces that
+loop *is* the cost of a grid cell.  :class:`KernelCostEngine` removes it
+entirely: a cell is evaluated by a fixed number of whole-array passes,
+with no per-request Python work at all.
+
+The reformulation rests on one observation: under Algorithm 1 every
+request is a *service* — both the renewal and the transfer branch
+restart the served server's segment at ``t_i`` and schedule its expiry
+at ``t_i + duration`` — and the duration depends only on the prediction
+consumed at that request, never on simulation state.  Per-request
+keep-durations therefore materialise directly from the
+:class:`~repro.predictions.stream.PredictionStream` columns
+(``np.where(pred, lam, alpha * lam)``), and the expiry of request ``q``
+is the state-free array ``E[q] = t[q] + d[q]``.  From it:
+
+* ``reach[q] = searchsorted(times, E[q], 'right') - 1`` is the last
+  request index the copy created at ``q`` survives to (the heap's
+  strict ``when < t`` pop, as an index comparison);
+* ``succ[q]``, the next request at the same server (one shared
+  per-server lexsort), caps the segment: ``cover[q] = min(succ[q],
+  reach[q])`` is the last request index at which ``q`` is its server's
+  live copy.  Slot segments are exactly the runs between *break masks*
+  in per-server order — positions where ``times[1:] > expiry[:-1]``,
+  i.e. ``reach < succ``;
+* a request ``i`` finds the system empty (the paper's special-copy
+  regime, lines 15-25) iff no earlier request covers it:
+  ``maximum.accumulate(cover)[i-1] < i``.  At such a die-out the special
+  copy is the lexicographic ``(E, server)`` maximum among segments with
+  ``reach == i - 1`` — the scalar heap's pop order — and it is resolved
+  at request ``i`` itself (renewed if local, dropped after the transfer
+  otherwise), so die-outs never couple across requests.
+
+Renewals are then ``reach[prev] >= i`` or a special renewal; every
+other request is a transfer; and each of the ``m + 1`` segments is
+charged exactly once (renewal close, expiry drop, special resolution,
+or drain/finalize), so the storage ledger is a permutation of per-
+segment charges.
+
+Bit-identity of the reduced ledgers needs one more ingredient: the
+scalar accumulator adds its charges in a specific order, and IEEE
+addition is not associative.  The kernel reconstructs that exact order
+as a sort key — ``(request event, pop-phase-before-serve-phase, expiry,
+server)`` — without ever sorting the full key tuple: expiry-drop
+charges are ``(E, server)``-ordered by merging the two per-branch
+expiry streams (each a constant shift of the strictly increasing
+times, hence already sorted; rare cross-stream ties fall back to a
+lexsort), serve-phase charges are emitted in request order by
+construction, and the two sequences interleave by counting sums
+(``bincount`` + ``cumsum``) rather than comparison sorts.  The ordered
+charge values are then reduced with ``np.add.accumulate`` — NumPy's
+*sequential* accumulation, unlike ``np.add.reduce``'s pairwise tree —
+so the final sum performs the same doubles additions in the same order
+as ``acc["storage"] += charge``.  Transfers reuse the batch tier's
+partial-sum argument: ``accumulate(full(n_tx, lam))[-1]`` is the
+scalar's repeated ``transfer += lam`` bit for bit.  Kernel costs are
+therefore bit-identical to :class:`FastCostEngine` (and the reference
+simulator) for every ``supports()``-eligible policy, and the test
+suite pins this across every registered scenario.
+
+Wang's baseline is deliberately *not* kernel-eligible: its drop cascade
+(``renewed_once`` flags, second-consecutive-expiry shipping to server
+0) makes each server's next expiry depend on the global alive set at
+the previous expiry, which resists the segmented formulation; rather
+than approximate it, :meth:`KernelCostEngine.supports` returns False
+and ``select_engine`` keeps Wang on the fast/batch tiers.
+
+Selection: the kernel's fixed overhead (a handful of array allocations
+and one shared per-server sort) loses to the fast engine's lean scalar
+loop on short traces and to the batch engine's shared trace pass on
+short slabs, so ``"auto"`` prefers it only above measured crossover
+trace lengths (:data:`KERNEL_MIN_M` single-cell,
+:data:`KERNEL_SLAB_MIN_M` slab-wide; see ``benchmarks/bench_scaling.py``
+for the measurements).  In slab mode the per-cell masks broadcast over
+an ``(n_cells,)`` axis of independent columns sharing the per-trace
+``succ``/``prev`` chains and one ``searchsorted`` per *distinct*
+keep-duration — 12 for the paper's 121-cell fig25 grid — which is
+where the tier's ≥5x per-cell advantage over the batch engine at
+million-request scale comes from (``benchmarks/bench_kernel.py``).
 """
 
 from __future__ import annotations
@@ -124,8 +207,11 @@ __all__ = [
     "ReferenceEngine",
     "FastCostEngine",
     "BatchCostEngine",
+    "KernelCostEngine",
     "CostResult",
     "ENGINE_NAMES",
+    "KERNEL_MIN_M",
+    "KERNEL_SLAB_MIN_M",
     "get_engine",
     "select_engine",
     "run_slab",
@@ -1012,6 +1098,590 @@ class BatchCostEngine(Engine):
         return policies, preds
 
 
+# ----------------------------------------------------------------------
+# segment-scan kernel
+#
+# No per-request Python loop: per-request keep-durations come straight
+# from the prediction columns, slot segments are recovered as per-server
+# break masks, and the ledgers are reduced with sequential
+# np.add.accumulate in the scalar engine's exact charge order (see the
+# module DESIGN docstring for the derivation and bit-identity argument).
+# ----------------------------------------------------------------------
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+
+
+class _SegmentChains:
+    """Shared per-trace precompute for segment-scan replays.
+
+    Holds the dummy-prefixed time/server columns, the per-server
+    neighbour chains (one stable sort), and a memo of ``(t + duration,
+    reach)`` arrays per distinct keep-duration, so a slab pays one
+    ``searchsorted`` per duration rather than one per cell.
+    """
+
+    __slots__ = (
+        "m", "m1", "n", "t_m", "t_all", "j_all", "order", "same",
+        "succ", "prev", "prev_clip", "prev_ok", "lastq", "idx1",
+        "arange0", "idx_dtype", "_shifts", "_work",
+    )
+
+    def __init__(self, trace: Trace):
+        m = len(trace)
+        self.m = m
+        self.m1 = m + 1
+        self.n = trace.n
+        self.t_m = trace.span
+        self.t_all = np.concatenate(([0.0], trace.times))
+        self.j_all = np.concatenate(([0], trace.servers))
+        # 32-bit index columns halve the bandwidth of the hot passes;
+        # traces beyond 2^31 requests would fall back to 64-bit
+        idx = np.int32 if self.m1 < np.iinfo(np.int32).max - 1 else np.int64
+        self.idx_dtype = idx
+        order = np.argsort(self.j_all, kind="stable")
+        js = self.j_all[order]
+        same = js[1:] == js[:-1]
+        succ = np.full(self.m1, self.m1, dtype=idx)
+        succ[order[:-1][same]] = order[1:][same]
+        prev = np.full(self.m1, -1, dtype=idx)
+        prev[order[1:][same]] = order[:-1][same]
+        self.order = order
+        self.same = same
+        self.succ = succ
+        self.prev = prev
+        # request-side views of the predecessor chain (for i = 1..m):
+        # whether a predecessor exists, and its index clipped for gathers
+        self.prev_ok = prev[1:] >= 0
+        self.prev_clip = np.maximum(prev[1:], 0)
+        # the last request at each touched server (no local successor)
+        self.lastq = np.flatnonzero(succ == self.m1).astype(idx)
+        self.idx1 = np.arange(1, self.m1, dtype=idx)
+        self.arange0 = np.arange(self.m1, dtype=idx)
+        self._shifts: dict[float, _Shift] = {}
+        self._work: _KernelWorkspace | None = None
+
+    def workspace(self) -> "_KernelWorkspace":
+        work = self._work
+        if work is None:
+            work = _KernelWorkspace(self.m, self.idx_dtype)
+            self._work = work
+        return work
+
+    def shifted(self, duration: float) -> "_Shift":
+        """The cell-invariant arrays for one keep-duration, memoised.
+
+        A slab's cells share a handful of distinct durations (``lam``
+        plus one ``alpha * lam`` per alpha — 12 for the fig25 grid's 121
+        cells), so everything that depends only on ``(trace, duration)``
+        is computed once per duration here rather than once per cell:
+        the per-cell passes then combine two cached shifts through the
+        prediction column and touch mostly boolean arrays and compact
+        index subsets.
+        """
+        hit = self._shifts.get(duration)
+        if hit is None:
+            hit = _Shift(self, duration)
+            self._shifts[duration] = hit
+        return hit
+
+
+class _Shift:
+    """Per-``(trace, duration)`` arrays shared by every cell using the
+    duration: a cell's expiry column is ``where(pred, shift_within,
+    shift_beyond)`` picked entrywise from two of these bundles."""
+
+    __slots__ = ("duration", "reach", "cover", "drop", "local_alive")
+
+    def __init__(self, chains: _SegmentChains, duration: float):
+        t_all, succ = chains.t_all, chains.succ
+        self.duration = duration
+        exp = t_all + duration
+        # reach[q]: last request index with time <= t_q + duration (the
+        # strict `when < t` expiry pop, as an index); non-decreasing in
+        # q because the expiries are a constant shift of sorted times
+        reach = (np.searchsorted(t_all, exp, side="right") - 1).astype(
+            chains.idx_dtype
+        )
+        self.reach = reach
+        # cover[q]: q keeps its server alive for requests in (q, cover]
+        self.cover = np.minimum(succ, reach)
+        # the segment is live when it expires, mid-trace
+        self.drop = (succ > reach) & (reach < chains.m)
+        # local_alive[i-1]: would request i renew its predecessor's copy
+        # under this duration (reach[prev] >= i, i.e. succ[prev] <= reach)
+        alive = succ <= reach
+        self.local_alive = alive[chains.prev_clip]
+
+
+class _KernelWorkspace:
+    """Reusable full-width scratch arrays for one :class:`_SegmentChains`.
+
+    A slab evaluates hundreds of cells over the same trace; without
+    reuse every cell would allocate (and page-fault) trace-length
+    arrays, which at a million requests costs more than the arithmetic.
+    Not thread-safe — one workspace per replay stream, like the chains
+    that own it.
+    """
+
+    __slots__ = ("cover", "vals", "serve_cum", "dropped", "b_m1", "die", "L")
+
+    def __init__(self, m: int, idx_dtype: type):
+        m1 = m + 1
+        self.vals = np.empty(m1)
+        self.cover = np.empty(m1, dtype=idx_dtype)
+        self.serve_cum = np.empty(m1, dtype=np.int64)
+        self.dropped = np.empty(m1, dtype=bool)
+        self.b_m1 = np.empty(m1, dtype=bool)
+        self.die = np.empty(m, dtype=bool)
+        self.L = np.empty(m, dtype=bool)
+
+
+def _merge_by_expiry(
+    chains: _SegmentChains,
+    mask: np.ndarray,
+    pred: np.ndarray,
+    dur_within: float,
+    dur_beyond: float,
+    ws: "_KernelWorkspace",
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(indices, expiries)`` of ``mask`` in ``(E, server)`` order —
+    the expiry heap's pop order.
+
+    Each prediction branch's expiries are a constant shift of the
+    strictly increasing request times, so the masked subset of either
+    branch is already sorted: the ``(E, server)`` order is a two-stream
+    merge, computed on the subsets (the full expiry column is never
+    materialised).  The server tie-break can only matter *across*
+    streams; the rare instances with cross-stream expiry ties fall back
+    to a lexsort.
+    """
+    t_all, j_all = chains.t_all, chains.j_all
+    tmp = np.logical_and(mask, pred, out=ws.b_m1)
+    dw = np.flatnonzero(tmp)
+    np.logical_xor(mask, tmp, out=tmp)       # mask & ~pred
+    db = np.flatnonzero(tmp)
+    # the same scalar IEEE add as schedule(j, t + duration), per subset
+    ew = t_all[dw] + dur_within
+    eb = t_all[db] + dur_beyond
+    if not db.size:
+        return dw, ew
+    if not dw.size:
+        return db, eb
+    lo = np.searchsorted(eb, ew, side="left")
+    if np.array_equal(lo, np.searchsorted(eb, ew, side="right")):
+        out = np.empty(dw.size + db.size, dtype=np.int64)
+        exp = np.empty(out.size)
+        pw = np.arange(dw.size)
+        pw += lo
+        out[pw] = dw
+        exp[pw] = ew
+        pb = np.arange(db.size)
+        pb += np.searchsorted(ew, eb, side="left")
+        out[pb] = db
+        exp[pb] = eb
+        return out, exp
+    mi = np.flatnonzero(mask)
+    emi = t_all[mi] + np.where(pred[mi], dur_within, dur_beyond)
+    order = np.lexsort((j_all[mi], emi))
+    return mi[order], emi[order]
+
+
+def _resolve_specials(
+    chains: _SegmentChains,
+    sw: _Shift,
+    sb: _Shift,
+    pred: np.ndarray,
+    die_pos: np.ndarray,
+    dur_within: float,
+    dur_beyond: float,
+) -> np.ndarray:
+    """The special segment of each die-out group: the ``(E, server)``
+    maximum among segments with ``reach == i - 1`` still current.
+
+    Candidates are found per group without scanning the trace: each
+    shift's ``reach`` column is non-decreasing, so the segments with a
+    given reach form a contiguous range located by two integer
+    ``searchsorted`` calls, filtered to the cell's prediction branch
+    and to still-current segments (``succ > reach``).
+    """
+    t_all, j_all, succ = chains.t_all, chains.j_all, chains.succ
+    dp = die_pos.astype(chains.idx_dtype)
+    ki_parts = [_EMPTY_I]
+    gi_parts = [_EMPTY_I]
+    ei_parts = [np.empty(0)]
+    for shift, dur, want in ((sw, dur_within, True), (sb, dur_beyond, False)):
+        lo = np.searchsorted(shift.reach, dp, side="left")
+        cnt = np.searchsorted(shift.reach, dp, side="right") - lo
+        total = int(cnt.sum())
+        if not total:
+            continue
+        k = np.repeat(lo - (np.cumsum(cnt) - cnt), cnt) + np.arange(total)
+        g = np.repeat(die_pos, cnt)
+        keep = (pred[k] == want) & (succ[k] > g)
+        k, g = k[keep], g[keep]
+        ki_parts.append(k)
+        gi_parts.append(g)
+        ei_parts.append(t_all[k] + dur)
+    ki = np.concatenate(ki_parts)
+    gi = np.concatenate(gi_parts)
+    ei = np.concatenate(ei_parts)
+    assert ki.size                  # request i-1 always qualifies
+    order = np.lexsort((j_all[ki], ei, gi))
+    ki, gi = ki[order], gi[order]
+    last = np.empty(ki.size, dtype=bool)
+    last[-1] = True
+    np.not_equal(gi[1:], gi[:-1], out=last[:-1])
+    spec = ki[last]
+    # the segment of request i-1 is always a candidate, so every
+    # die-out group resolved a special
+    assert spec.size == die_pos.size
+    return spec
+
+
+def _tenure_starts(chains: _SegmentChains, miss_full: np.ndarray) -> np.ndarray:
+    """For every request, the request index at which its server's
+    current continuous tenure began (the latest transfer to it, or 0
+    for server 0's initial copy) — a live copy's dict-insertion slot.
+
+    One segmented ``maximum.accumulate`` along the shared per-server
+    order: renewals inherit, misses reset.
+    """
+    so = chains.order
+    grp_start = np.empty(so.size, dtype=bool)
+    grp_start[0] = True
+    np.logical_not(chains.same, out=grp_start[1:])
+    gid = np.cumsum(grp_start) - 1
+    vals = np.where(miss_full[so], so, -1)
+    off = np.int64(chains.m1 + 1)
+    run = np.maximum.accumulate(vals + gid * off) - gid * off
+    tenure = np.empty(chains.m1, dtype=np.int64)
+    tenure[so] = run
+    return tenure
+
+
+def _kernel_algorithm1(
+    chains: _SegmentChains,
+    rate: float,
+    lam: float,
+    alpha: float,
+    pred: np.ndarray,
+    drain: bool,
+    drain_event_cap: int | None,
+) -> tuple[float, float, int]:
+    """Replay Algorithm 1 with pure array passes (no per-request loop).
+
+    Returns ``(storage, transfer, n_transfers)`` bit-identical to
+    ``_fast_algorithm1(trace, model, alpha, pred, drain,
+    drain_event_cap)`` on the trace behind ``chains``.  See the module
+    DESIGN docstring for the derivation.
+    """
+    m, m1 = chains.m, chains.m1
+    t_all, j_all = chains.t_all, chains.j_all
+    t_m = chains.t_m
+    pred = np.asarray(pred, dtype=bool)
+    if pred.shape != (m1,):
+        raise ValueError(
+            f"prediction stream must have length m + 1 = {m1}, "
+            f"got shape {pred.shape}"
+        )
+    dur_beyond = alpha * lam        # the scalar path's single multiply
+    sw = chains.shifted(lam)
+    sb = chains.shifted(dur_beyond)
+    ws = chains.workspace()
+
+    # die-out detection: request i finds every copy expired iff no
+    # earlier segment covers it.  The per-duration cover columns are
+    # cached on the shifts; the cell only selects and scans.
+    cover = ws.cover
+    np.copyto(cover, sb.cover)
+    np.copyto(cover, sw.cover, where=pred)
+    np.maximum.accumulate(cover, out=cover)
+    die = np.less(cover[:-1], chains.idx1, out=ws.die)      # pos i-1 = req i
+    die_pos = np.flatnonzero(die)
+
+    # special copies: at die-out i the last segment to expire — the
+    # (E, server) maximum among those with reach == i - 1 — stays live
+    # and is resolved at request i itself (renewal or transfer + drop)
+    spec_choice = _EMPTY_I
+    if die_pos.size:
+        spec_choice = _resolve_specials(
+            chains, sw, sb, pred, die_pos, lam, dur_beyond
+        )
+
+    # renewal iff the previous local segment survives to the request
+    # (the shifts' predecessor-alive columns, selected by the
+    # *predecessor's* prediction) or the special copy is local
+    L = ws.L
+    np.copyto(L, sb.local_alive)
+    np.copyto(L, sw.local_alive, where=pred[chains.prev_clip])
+    np.logical_and(L, chains.prev_ok, out=L)
+    n_renew = int(np.count_nonzero(L))
+    if die_pos.size:
+        spec_renew = j_all[die_pos + 1] == j_all[spec_choice]
+        n_renew += int(np.count_nonzero(spec_renew))
+    n_tx = m - n_renew
+
+    # serve-phase charges (at most one per request): a renewal closes
+    # the predecessor's segment, a die-out closes the special's
+    serve_mask = np.logical_or(L, die, out=L)        # L is dead after this
+    serve_pos = np.flatnonzero(serve_mask)   # ascending request order
+    closed = chains.prev[1:][serve_pos]
+    if die_pos.size:
+        closed[np.searchsorted(serve_pos, die_pos)] = spec_choice
+
+    # pop-phase drops: live segments expiring mid-trace, minus specials
+    dropped = ws.dropped
+    np.copyto(dropped, sb.drop)
+    np.copyto(dropped, sw.drop, where=pred)
+    if spec_choice.size:
+        dropped[spec_choice] = False
+    do, e_do = _merge_by_expiry(chains, dropped, pred, lam, dur_beyond, ws)
+    pop_ev = np.where(pred[do], sw.reach[do], sb.reach[do])
+    pop_ev += 1                              # monotone: reach follows E
+
+    # trailing segments (a subset of each server's last request): the
+    # drain pops them in (E, server) order and the survivor finalizes
+    # as the special; never-expiring copies (infinite expiry) skip the
+    # drain and finalize in dict-insertion order, as do cap-stranded
+    # copies
+    lastq = chains.lastq
+    pred_last = pred[lastq]
+    r_last = np.where(pred_last, sw.reach[lastq], sb.reach[lastq])
+    keep = r_last >= m
+    ti = lastq[keep]
+    e_ti = t_all[ti] + np.where(pred_last[keep], lam, dur_beyond)
+    t_order = np.lexsort((j_all[ti], e_ti))  # at most one per server
+    to = ti[t_order]
+    finite_to = to[np.isfinite(e_ti[t_order])]
+    inf_to = to[finite_to.size:]
+    n_finite = finite_to.size
+    cap = drain_event_cap if drain_event_cap is not None else 4 * chains.n + 16
+    fired = min(cap, n_finite) if drain else 0
+    if fired == n_finite and n_finite > 0 and not inf_to.size:
+        drain_drop = finite_to[: n_finite - 1]
+        finalize = finite_to[n_finite - 1 :]
+    else:
+        drain_drop = finite_to[:fired]
+        finalize = np.concatenate((finite_to[fired:], inf_to))
+        if finalize.size > 1:
+            # rare (drain disabled, a binding event cap, or infinite
+            # durations): order the finalize walk by dict insertion
+            miss_full = np.empty(m1, dtype=bool)
+            miss_full[0] = True              # the dummy creates at server 0
+            np.logical_not(serve_mask, out=miss_full[1:])
+            miss_full[1:][die_pos] = ~spec_renew if die_pos.size else False
+            tenure = _tenure_starts(chains, miss_full)
+            finalize = finalize[np.argsort(tenure[finalize], kind="stable")]
+
+    # merge both charge sequences into the scalar accumulation order:
+    # within an event, expiry pops precede the serve-step charge; the
+    # drain pops (pseudo-event past every request) and then the finalize
+    # walk occupy the final positions.  Both sequences are already
+    # event-ordered, so their interleave needs only counting sums — a
+    # cumulative count of serve events and one searchsorted over the
+    # sorted pop events — not a comparison sort.
+    n_pop = do.size
+    n_drain = drain_drop.size
+    n_fin = finalize.size
+    n_serve = serve_pos.size
+    # S[i] = number of serve charges with event <= i
+    S = ws.serve_cum
+    S[0] = 0
+    np.cumsum(serve_mask, out=S[1:])
+    sp1 = serve_pos + 1
+    # serve charge position: rank + pops at this or an earlier event
+    pos_srv = np.searchsorted(pop_ev, sp1.astype(pop_ev.dtype), side="right")
+    np.add(pos_srv, chains.arange0[:n_serve], out=pos_srv)
+    # pop charge position: rank + serves at earlier events
+    np.subtract(pop_ev, 1, out=pop_ev)       # pop_ev is dead after this
+    pos_pop = S[pop_ev]
+    np.add(pos_pop, chains.arange0[:n_pop], out=pos_pop)
+
+    # every segment is charged exactly once; each charge is the scalar
+    # (end - start) * rate with end already clipped (mid-trace ends
+    # precede t_m, drain/finalize end at t_m) and start a request time
+    assert n_pop + n_serve + n_drain + n_fin == m1
+    vals = ws.vals
+    np.subtract(e_do, t_all[do], out=e_do)   # e_do is dead after this
+    e_do *= rate
+    vals[pos_pop] = e_do
+    srv_end = t_all[sp1]
+    srv_end -= t_all[closed]
+    srv_end *= rate
+    vals[pos_srv] = srv_end
+    tail_q = np.concatenate((drain_drop, finalize))
+    tail = (t_m - t_all[tail_q])
+    tail *= rate
+    vals[m1 - tail_q.size :] = tail
+    # sequential accumulation == the scalar's ordered `storage += charge`
+    np.add.accumulate(vals, out=vals)
+    storage = float(vals[-1]) if m1 else 0.0
+
+    # repeated `transfer += lam`, as one sequential prefix accumulation
+    transfer = float(np.add.accumulate(np.full(n_tx, lam))[-1]) if n_tx else 0.0
+    return storage, transfer, n_tx
+
+
+class KernelCostEngine(Engine):
+    """Cost-only segment-scan replay: pure array passes, no per-request
+    Python loop.
+
+    Eligibility is the fast path's minus Wang's baseline (its drop
+    cascade resists the segmented formulation; see the module DESIGN
+    docstring).  Costs are bit-identical to :class:`FastCostEngine` for
+    every supported ``(policy, trace)``.  The scalar :meth:`run`
+    interface evaluates one cell; :meth:`run_slab` shares the per-trace
+    chains and per-duration reach arrays across a whole slab.
+    """
+
+    name = "kernel"
+
+    def supports(
+        self, trace: Trace, model: CostModel, policy: ReplicationPolicy
+    ) -> bool:
+        from ..algorithms.conventional import ConventionalReplication
+        from ..algorithms.learning_augmented import LearningAugmentedReplication
+        from ..predictions.stream import PredictionStream
+
+        kind = type(policy)
+        if kind is ConventionalReplication:
+            return model.uniform_storage
+        if kind is LearningAugmentedReplication:
+            if not model.uniform_storage:
+                return False
+            return PredictionStream.supports_predictor(policy.predictor, trace)
+        # WangReplication deliberately excluded: cross-server coupling
+        return False
+
+    def run(
+        self,
+        trace: Trace,
+        model: CostModel,
+        policy: ReplicationPolicy,
+        drain: bool = True,
+        drain_event_cap: int | None = None,
+    ) -> CostResult:
+        from ..algorithms.conventional import ConventionalReplication
+        from ..algorithms.learning_augmented import LearningAugmentedReplication
+
+        if model.n != trace.n:
+            raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
+        kind = type(policy)
+        if kind not in (ConventionalReplication, LearningAugmentedReplication):
+            raise EngineError(
+                f"KernelCostEngine does not support {kind.__name__}; "
+                "use the fast or reference engine"
+            )
+        if not model.uniform_storage:
+            raise PolicyError(
+                "Algorithm 1 assumes uniform storage rates (paper Section 2)"
+            )
+        stream = FastCostEngine._stream_for(policy, trace, model)
+        if stream is None:
+            raise EngineError(
+                f"KernelCostEngine cannot stream predictor "
+                f"{policy.predictor.name!r}; use the reference engine"
+            )
+        chains = _SegmentChains(trace)
+        storage, transfer, n_tx = _kernel_algorithm1(
+            chains,
+            model.storage_rates[0],
+            model.lam,
+            policy.alpha,
+            stream.within,
+            drain,
+            drain_event_cap,
+        )
+        return CostResult(
+            trace=trace,
+            model=model,
+            policy_name=policy.name,
+            storage_cost=storage,
+            transfer_cost=transfer,
+            n_transfers=n_tx,
+            engine="kernel",
+        )
+
+    # ------------------------------------------------------------------
+    def supports_slab(
+        self,
+        trace: Trace,
+        model: CostModel,
+        factory: SlabFactory,
+        cells: Sequence[SlabCell],
+    ) -> bool:
+        """Whether :meth:`run_slab` can evaluate this whole slab with
+        shared segment chains (every cell kernel-eligible)."""
+        return self._slab_plan(trace, model, factory, cells) is not None
+
+    def run_slab(
+        self,
+        trace: Trace,
+        model: CostModel,
+        factory: SlabFactory,
+        cells: Sequence[SlabCell],
+    ) -> list[CostResult]:
+        """Evaluate every cell of a slab over shared per-trace chains.
+
+        Returns one :class:`CostResult` per cell, in cell order, each
+        bit-identical to the fast engine's scalar replay of that cell.
+        """
+        plan = self._slab_plan(trace, model, factory, cells)
+        if plan is None:
+            raise EngineError(
+                "KernelCostEngine cannot evaluate this slab; the "
+                "module-level run_slab() dispatcher falls back to "
+                "per-cell execution"
+            )
+        return self._run_plan(trace, model, plan)
+
+    def _slab_plan(
+        self,
+        trace: Trace,
+        model: CostModel,
+        factory: SlabFactory,
+        cells: Sequence[SlabCell],
+        policies: list[ReplicationPolicy] | None = None,
+    ):
+        """A batch-tier slab plan restricted to kernel-eligible slabs
+        (Wang slabs, whose plans carry no predictors, are rejected)."""
+        plan = _ENGINES["batch"]._slab_plan(
+            trace, model, factory, cells, policies=policies
+        )
+        if plan is None or not plan[1]:
+            return None
+        return plan
+
+    def _run_plan(self, trace: Trace, model: CostModel, plan) -> list[CostResult]:
+        from ..predictions.stream import PredictionStream
+
+        policies, preds = plan
+        matrix = PredictionStream.batch_for_predictors(
+            preds, trace, model.lam, cell_major=True
+        )
+        assert matrix is not None  # vetted by _slab_plan
+        chains = _SegmentChains(trace)
+        rate = model.storage_rates[0]
+        lam = model.lam
+        out = []
+        for c, p in enumerate(policies):
+            storage, transfer, n_tx = _kernel_algorithm1(
+                chains, rate, lam, p.alpha, matrix[c], True, None
+            )
+            out.append(
+                CostResult(
+                    trace=trace,
+                    model=model,
+                    policy_name=p.name,
+                    storage_cost=storage,
+                    transfer_cost=transfer,
+                    n_transfers=n_tx,
+                    engine="kernel",
+                )
+            )
+        return out
+
+
 def run_slab(
     trace: Trace,
     model: CostModel,
@@ -1023,17 +1693,23 @@ def run_slab(
 
     ``cells`` is a sequence of ``(alpha, accuracy, seed)`` tuples and
     ``factory`` follows the sweep-layer policy-factory signature.  With
-    ``engine`` ``"auto"`` or ``"batch"`` the whole slab runs in one
-    vectorized trace pass whenever every cell is batch-eligible;
-    otherwise — a concrete engine was requested, or the slab mixes
-    policy families — each cell runs through :func:`select_engine`
-    individually.  Per-cell costs are bit-identical across every path.
+    ``engine`` ``"auto"``, ``"kernel"``, or ``"batch"`` the whole slab
+    runs vectorized whenever every cell is eligible — ``"auto"``
+    prefers the loop-free kernel above :data:`KERNEL_SLAB_MIN_M`
+    requests (Wang slabs stay on the batch tier) and the batch engine's
+    single shared trace pass below it; otherwise — a concrete engine
+    was requested, or the slab mixes policy families — each cell runs
+    through :func:`select_engine` individually.  Per-cell costs are
+    bit-identical across every path.
     """
     cells = list(cells)
     if not cells:
         return []
     batch = _ENGINES["batch"]
-    wants_batch = engine in ("auto", "batch") or isinstance(engine, BatchCostEngine)
+    wants_slab = engine in ("auto", "batch", "kernel") or isinstance(
+        engine, (BatchCostEngine, KernelCostEngine)
+    )
+    wants_kernel = engine == "kernel" or isinstance(engine, KernelCostEngine)
     # build each cell's policy exactly once: the plan classification and
     # the per-cell fallback below share them (predictors are lazy, so an
     # unqueried policy is indistinguishable from a fresh one)
@@ -1041,10 +1717,19 @@ def run_slab(
         factory(trace, model.lam, alpha, accuracy, seed)
         for alpha, accuracy, seed in cells
     ]
-    if wants_batch and len(cells) > 1:
+    if wants_slab and len(cells) > 1:
         plan = batch._slab_plan(trace, model, factory, cells, policies=policies)
         if plan is not None:
-            return batch._run_plan(trace, model, plan)
+            kernel_able = bool(plan[1])     # Wang plans carry no predictors
+            if wants_kernel:
+                if kernel_able:
+                    return _ENGINES["kernel"]._run_plan(trace, model, plan)
+                # explicit "kernel" on a Wang slab stays strict: fall
+                # through to the per-cell loop, which raises
+            elif engine == "auto" and kernel_able and len(trace) >= KERNEL_SLAB_MIN_M:
+                return _ENGINES["kernel"]._run_plan(trace, model, plan)
+            else:
+                return batch._run_plan(trace, model, plan)
     # per-cell fallback: "auto" keeps auto-selecting; a concrete engine
     # (including explicit "batch") stays strict and raises on policies it
     # cannot execute, exactly as the scalar paths do
@@ -1062,10 +1747,20 @@ _ENGINES: dict[str, Engine] = {
     "reference": ReferenceEngine(),
     "fast": FastCostEngine(),
     "batch": BatchCostEngine(),
+    "kernel": KernelCostEngine(),
 }
 
 #: valid names for CLI flags and engine= parameters
-ENGINE_NAMES: tuple[str, ...] = ("auto", "batch", "fast", "reference")
+ENGINE_NAMES: tuple[str, ...] = ("auto", "batch", "fast", "kernel", "reference")
+
+#: measured auto-selection crossovers (benchmarks/bench_scaling.py, on
+#: the ibm_like workload at lambda=10): the kernel's fixed array-pass
+#: overhead loses to the fast engine's scalar loop on single cells only
+#: below a few hundred requests, and to the batch engine's shared
+#: per-slab trace pass below ~1k requests (0.6x at m=500, 1.5x by
+#: m=1000, widening to >5x at a million requests)
+KERNEL_MIN_M = 256
+KERNEL_SLAB_MIN_M = 1_024
 
 
 def get_engine(name: str | Engine) -> Engine:
@@ -1089,10 +1784,13 @@ def select_engine(
 ) -> Engine:
     """Pick the engine for one run (or one slab of runs).
 
-    ``"auto"`` selects the batch engine when the caller holds a slab of
-    ``slab_size > 1`` cells sharing this ``(trace, lambda)`` and the
-    policy is fast-path eligible, the fast cost-only engine for single
-    eligible runs, and the reference engine otherwise (see the module
+    ``"auto"`` selects among the cost-only tiers for fast-path eligible
+    policies — the segment-scan kernel for kernel-eligible runs above
+    the measured crossover trace lengths (:data:`KERNEL_MIN_M` for
+    single cells, :data:`KERNEL_SLAB_MIN_M` when the caller holds a slab
+    of ``slab_size > 1`` cells sharing this ``(trace, lambda)``), the
+    batch engine for shorter slabs, and the fast engine for shorter
+    single runs — and the reference engine otherwise (see the module
     docstring).  A concrete name or :class:`Engine` instance is returned
     as-is — callers that need telemetry must pass ``"reference"``
     explicitly.
@@ -1100,6 +1798,10 @@ def select_engine(
     if engine == "auto":
         fast = _ENGINES["fast"]
         if fast.supports(trace, model, policy):
+            kernel = _ENGINES["kernel"]
+            floor = KERNEL_SLAB_MIN_M if slab_size > 1 else KERNEL_MIN_M
+            if len(trace) >= floor and kernel.supports(trace, model, policy):
+                return kernel
             return _ENGINES["batch"] if slab_size > 1 else fast
         return _ENGINES["reference"]
     return get_engine(engine)

@@ -351,9 +351,10 @@ class ExperimentRunner:
         A :class:`~.progress.ProgressReporter`; defaults to silent.
     engine:
         Simulation engine for grid cells: ``"auto"`` (default) evaluates
-        each dispatched slab of cells sharing a ``(trace, lambda)`` in
-        one vectorized batch pass when every cell is fast-path eligible,
-        per-cell on the fast or reference engine otherwise;
+        each dispatched slab of cells sharing a ``(trace, lambda)``
+        with loop-free kernel replays (long traces) or one vectorized
+        batch pass when every cell is fast-path eligible, per-cell on
+        the fast or reference engine otherwise; ``"kernel"``/
         ``"batch"``/``"fast"``/``"reference"`` force one engine.
         Results are bit-identical across engines, so the result cache is
         shared between them.
@@ -549,15 +550,16 @@ class ExperimentRunner:
     def _slab_chunk_size(self, n_cells: int, engine: str | Engine) -> int:
         """Cells per dispatched slab chunk.
 
-        Batch-capable engines want the widest chunks the pool can still
-        load-balance (the vectorized trace pass amortises across every
-        cell of a chunk, and wider chunks mean fewer IPC rounds); the
+        Slab-capable engines (batch, kernel) want the widest chunks the
+        pool can still load-balance (the vectorized trace pass — or the
+        kernel's shared per-trace chains — amortises across every cell
+        of a chunk, and wider chunks mean fewer IPC rounds); the
         per-cell engines keep the finer-grained sizing.
         """
         if self.chunk_size is not None:
             return max(1, self.chunk_size)
         name = engine.name if isinstance(engine, Engine) else engine
-        if name in ("auto", "batch"):
+        if name in ("auto", "batch", "kernel"):
             return max(1, -(-n_cells // (self.workers * 2)))
         return self._chunk_size(n_cells)
 

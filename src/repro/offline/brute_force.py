@@ -12,11 +12,25 @@ Complexity is ``O(m * 4^n)`` — only usable for ``n <= ~4``, ``m <= ~14``,
 which is exactly its purpose.  Unlike the fast DP it supports distinct
 per-server storage rates, so it also validates the Wang et al. baseline
 scenarios.
+
+The transition is evaluated with the same gap-array machinery as the
+engines: subsets are bitmask rows of ``(2^n,)`` NumPy vectors, the
+per-request inter-arrival gap multiplies a precomputed per-subset
+storage-rate vector, and the ``(S, S2)`` candidate sweep is one
+broadcast add + column min per request instead of a nested Python loop.
+Every candidate's cost is built from the identical scalar IEEE
+operations the loop formulation performs (``cost + rate(S) * dt`` then
+``+ lam * n_transfers``), and a column minimum over identical doubles is
+order-independent, so the vectorized search is *exactly* equivalent —
+:func:`_brute_force_reference` keeps the loop formulation and the test
+suite pins the two against each other.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
+
+import numpy as np
 
 from ..core.costs import CostModel
 from ..core.trace import Trace
@@ -30,17 +44,7 @@ def _all_subsets(universe: tuple[int, ...]):
             yield frozenset(combo)
 
 
-def brute_force_optimal_cost(
-    trace: Trace,
-    model: CostModel,
-    max_requests: int = 16,
-    max_servers: int = 5,
-) -> float:
-    """Exact optimal offline cost by exhaustive state-space search.
-
-    Raises ``ValueError`` when the instance exceeds the tractable size
-    guards (override them explicitly if you know what you are doing).
-    """
+def _check_size(trace: Trace, model: CostModel, max_requests: int, max_servers: int):
     if model.n != trace.n:
         raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
     m = len(trace)
@@ -52,6 +56,77 @@ def brute_force_optimal_cost(
         raise ValueError(
             f"instance too large for brute force: n={trace.n} > {max_servers}"
         )
+
+
+def brute_force_optimal_cost(
+    trace: Trace,
+    model: CostModel,
+    max_requests: int = 16,
+    max_servers: int = 5,
+) -> float:
+    """Exact optimal offline cost by exhaustive state-space search.
+
+    Raises ``ValueError`` when the instance exceeds the tractable size
+    guards (override them explicitly if you know what you are doing).
+    """
+    _check_size(trace, model, max_requests, max_servers)
+    m = len(trace)
+    if m == 0:
+        return 0.0
+
+    lam = model.lam
+    rates = model.storage_rates
+    n = trace.n
+    n_sets = 1 << n
+    masks = np.arange(n_sets)
+
+    # per-subset storage rate, accumulated in ascending server order —
+    # the same addition sequence as the loop formulation's sum()
+    rate_vec = np.zeros(n_sets)
+    popcount = np.zeros(n_sets, dtype=np.int64)
+    for s in range(n):
+        has = ((masks >> s) & 1).astype(bool)
+        rate_vec[has] += rates[s]
+        popcount += has
+
+    # extra[S, S2] = the brand-new copies S2 \ S as a bitmask
+    extra = masks[None, :] & ~masks[:, None]
+    tx_by_server: dict[int, np.ndarray] = {}
+
+    times = np.concatenate(([0.0], trace.times))
+    servers = trace.servers
+    cost = np.full(n_sets, np.inf)
+    cost[1] = 0.0                       # server 0 holds the initial copy
+
+    for i in range(m):
+        j = int(servers[i])
+        dt = float(times[i + 1] - times[i])
+        Tj = tx_by_server.get(j)
+        if Tj is None:
+            # transfers: serving (if not local) + any brand-new copies;
+            # when the serve transfer lands at the request's server, the
+            # retained copy there is free
+            Tj = popcount[extra & ~(1 << j)] + (1 - ((masks >> j) & 1))[:, None]
+            tx_by_server[j] = Tj
+        hold = cost + rate_vec * dt
+        c2 = hold[:, None] + lam * Tj
+        new_cost = c2.min(axis=0)
+        new_cost[0] = np.inf            # at-least-one-copy invariant
+        cost = new_cost
+
+    return float(cost.min())
+
+
+def _brute_force_reference(
+    trace: Trace,
+    model: CostModel,
+    max_requests: int = 16,
+    max_servers: int = 5,
+) -> float:
+    """The original nested-loop formulation, kept as the semantic
+    reference the vectorized search is tested against."""
+    _check_size(trace, model, max_requests, max_servers)
+    m = len(trace)
     if m == 0:
         return 0.0
 
@@ -76,9 +151,6 @@ def brute_force_optimal_cost(
             for S2 in _all_subsets(servers):
                 if not S2:
                     continue  # at-least-one-copy invariant
-                # transfers: serving (if not local) + any brand-new copies;
-                # when the serve transfer lands at the request's server, the
-                # retained copy there is free.
                 extra = S2 - S
                 n_transfers = len(extra - {req.server})
                 if not served_free:

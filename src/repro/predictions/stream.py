@@ -179,7 +179,7 @@ class PredictionStream:
 
     @classmethod
     def batch_for_predictors(
-        cls, predictors, trace: Trace, lam: float
+        cls, predictors, trace: Trace, lam: float, cell_major: bool = False
     ) -> np.ndarray | None:
         """One prediction column per predictor, or None if any is not
         streamable on ``trace``.
@@ -187,29 +187,39 @@ class PredictionStream:
         Columns are bit-identical to the per-predictor scalar streams
         (:meth:`for_predictor`), but the ground truth and per-seed RNG
         draws are computed once for the whole slab.
+
+        ``cell_major=True`` returns the transposed ``(n_cells, m + 1)``
+        layout instead — each cell's stream a contiguous row — which is
+        what the kernel engine's per-cell replays consume; values are
+        identical, only the memory layout differs.
         """
         if not all(cls.supports_predictor(p, trace) for p in predictors):
             return None
         m1 = len(trace) + 1
-        out = np.empty((m1, len(predictors)), dtype=bool)
+        if cell_major:
+            out = np.empty((len(predictors), m1), dtype=bool)
+            rows = out
+        else:
+            out = np.empty((m1, len(predictors)), dtype=bool)
+            rows = out.T                       # row c views column c
         truth: np.ndarray | None = None
         draws: dict[int, np.ndarray] = {}
         for c, p in enumerate(predictors):
             kind = type(p)
             if kind is FixedPredictor:
-                out[:, c] = bool(p.within)
+                rows[c] = bool(p.within)
                 continue
             if truth is None:
                 truth = truth_within_array(trace, lam)
             if kind is OraclePredictor:
-                out[:, c] = truth
+                rows[c] = truth
             elif kind is AdversarialPredictor:
-                out[:, c] = ~truth
+                rows[c] = ~truth
             else:  # NoisyOraclePredictor (supports_predictor vetted types)
                 if p.seed not in draws:
                     draws[p.seed] = np.random.default_rng(p.seed).random(m1)
                 correct = draws[p.seed] < p.accuracy
-                out[:, c] = np.where(correct, truth, ~truth)
+                rows[c] = np.where(correct, truth, ~truth)
         return out
 
     # ------------------------------------------------------------------

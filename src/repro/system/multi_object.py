@@ -169,10 +169,11 @@ class MultiObjectSystem:
         ``engine`` selects the simulation engine per object.  The default
         ``"reference"`` keeps full per-object telemetry in the report
         (serves, event logs, copy records); ``"auto"``/``"fast"``/
-        ``"batch"`` runs cost-only where the policy is fast-path
-        eligible — outcomes then carry a
+        ``"batch"``/``"kernel"`` runs cost-only where the policy is
+        fast-path eligible — outcomes then carry a
         :class:`~repro.core.engine.CostResult` with identical costs but
-        no telemetry.  (Objects have distinct traces, so fleets run
+        no telemetry (``"auto"`` picks the loop-free kernel for long
+        eligible traces).  (Objects have distinct traces, so fleets run
         per-object; the batch engine's slab throughput applies to
         parameter grids over one trace.)
         """

@@ -277,7 +277,7 @@ class TestSelection:
         self.model = CostModel(lam=20.0, n=4)
 
     def test_engine_names_and_registry(self):
-        assert ENGINE_NAMES == ("auto", "batch", "fast", "reference")
+        assert ENGINE_NAMES == ("auto", "batch", "fast", "kernel", "reference")
         assert isinstance(get_engine("batch"), BatchCostEngine)
 
     def test_auto_prefers_batch_for_slabs(self):

@@ -1,0 +1,547 @@
+"""Equivalence and wiring tests for the segment-scan kernel engine.
+
+The contract under test (core/engine.py DESIGN): the loop-free
+:class:`KernelCostEngine` must reproduce the scalar
+:class:`FastCostEngine` — and therefore the batch engine and the
+reference event-driven simulator — *bit for bit*, per cell, for every
+kernel-eligible policy (Algorithm 1 with streamable predictors and the
+conventional baseline) on arbitrary instances, drain configurations,
+and slabs; Wang's baseline must be honestly gated out of ``supports()``
+and fall back through ``select_engine``; and the layers above
+(``select_engine`` crossovers, ``run_slab``, ``sweep_grid``,
+``ExperimentRunner``, the CLI, the ``repro bench`` discovery) must
+route onto the kernel where it wins.
+
+The vectorized brute-force offline search (satellite) is pinned against
+its kept loop reference here too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BatchCostEngine,
+    ConventionalReplication,
+    CostModel,
+    CostResult,
+    EngineError,
+    FastCostEngine,
+    KernelCostEngine,
+    LearningAugmentedReplication,
+    ReferenceEngine,
+    Trace,
+    WangReplication,
+    get_engine,
+    run_slab,
+    select_engine,
+)
+from repro.analysis.sweep import algorithm1_factory, sweep_grid
+from repro.core.engine import (
+    ENGINE_NAMES,
+    KERNEL_MIN_M,
+    KERNEL_SLAB_MIN_M,
+)
+from repro.offline.brute_force import (
+    _brute_force_reference,
+    brute_force_optimal_cost,
+)
+from repro.predictions import (
+    AdversarialPredictor,
+    FixedPredictor,
+    NoisyOraclePredictor,
+    OraclePredictor,
+    PredictionStream,
+    SlidingWindowPredictor,
+)
+from repro.workloads import ibm_like_trace, uniform_random_trace
+
+KERNEL = KernelCostEngine()
+FAST = FastCostEngine()
+BATCH = BatchCostEngine()
+REF = ReferenceEngine()
+
+
+def assert_kernel_matches_scalar(
+    trace, model, factory, cells, check_reference=False
+):
+    """Kernel slab replays == per-cell fast (and batch / reference)."""
+    runs = KERNEL.run_slab(trace, model, factory, cells)
+    assert len(runs) == len(cells)
+    batch_runs = BATCH.run_slab(trace, model, factory, cells)
+    for cell, run, brun in zip(cells, runs, batch_runs):
+        assert isinstance(run, CostResult)
+        assert run.engine == "kernel"
+        policy = factory(trace, model.lam, *cell)
+        fast = FAST.run(trace, model, policy)
+        # bit-identity, not mere closeness
+        assert run.storage_cost == fast.storage_cost, cell
+        assert run.transfer_cost == fast.transfer_cost, cell
+        assert run.n_transfers == fast.n_transfers, cell
+        assert run.storage_cost == brun.storage_cost, cell
+        assert run.transfer_cost == brun.transfer_cost, cell
+        if check_reference:
+            ref = REF.run(trace, model, factory(trace, model.lam, *cell))
+            assert run.storage_cost == ref.storage_cost, cell
+            assert run.transfer_cost == ref.transfer_cost, cell
+    return runs
+
+
+# ----------------------------------------------------------------------
+# property-based equivalence: random traces x slabs x eligible policies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def traces(draw, max_n=5, max_m=30):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_m))
+    gaps = draw(
+        st.lists(
+            st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    servers = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    times = np.cumsum(gaps)
+    return Trace(n, list(zip(times.tolist(), servers)))
+
+
+@st.composite
+def tie_prone_traces(draw, max_n=4, max_m=24):
+    """Integer gaps force expiry-time ties across prediction branches,
+    exercising the kernel's merge tie-break fallback."""
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_m))
+    gaps = draw(st.lists(st.integers(1, 3), min_size=m, max_size=m))
+    servers = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    times = np.cumsum(np.asarray(gaps, dtype=float))
+    return Trace(n, list(zip(times.tolist(), servers)))
+
+
+@st.composite
+def instances(draw):
+    trace = draw(traces())
+    lam = draw(st.floats(0.05, 50.0, allow_nan=False, allow_infinity=False))
+    return trace, CostModel(lam=lam, n=trace.n)
+
+
+@st.composite
+def slabs(draw, max_cells=6):
+    k = draw(st.integers(1, max_cells))
+    alphas = draw(st.lists(st.floats(0.0, 1.0), min_size=k, max_size=k))
+    accs = draw(st.lists(st.floats(0.0, 1.0), min_size=k, max_size=k))
+    seeds = draw(st.lists(st.integers(0, 4), min_size=k, max_size=k))
+    return list(zip(alphas, accs, seeds))
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances(), slabs())
+def test_algorithm1_slab_bit_identity(inst, cells):
+    """Kernel == fast == batch == reference per cell for Algorithm 1."""
+    trace, model = inst
+    assert_kernel_matches_scalar(
+        trace, model, algorithm1_factory, cells, check_reference=True
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(tie_prone_traces(), st.integers(1, 4), st.integers(0, 3))
+def test_tie_prone_slab_bit_identity(trace, lam_int, seed):
+    """Integer timing: expiry ties across branches stay bit-identical."""
+    model = CostModel(lam=float(lam_int), n=trace.n)
+    cells = [(0.0, 0.3, seed), (0.5, 0.7, seed), (1.0, 1.0, seed)]
+    assert_kernel_matches_scalar(trace, model, algorithm1_factory, cells)
+
+
+def _conventional_factory(trace, lam, alpha, accuracy, seed):
+    return ConventionalReplication()
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(), st.integers(1, 4))
+def test_conventional_slab_bit_identity(inst, k):
+    trace, model = inst
+    cells = [(0.5, 1.0, s) for s in range(k)]
+    assert_kernel_matches_scalar(
+        trace, model, _conventional_factory, cells, check_reference=True
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances(), st.floats(0.05, 1.0), st.booleans())
+def test_fixed_and_adversarial_predictor_slabs(inst, alpha, within):
+    trace, model = inst
+
+    def fixed_factory(tr, lam, a, acc, seed):
+        return LearningAugmentedReplication(FixedPredictor(within), a)
+
+    def adversarial_factory(tr, lam, a, acc, seed):
+        return LearningAugmentedReplication(AdversarialPredictor(tr), a)
+
+    cells = [(alpha, 0.0, 0), (1.0, 0.0, 1)]
+    assert_kernel_matches_scalar(trace, model, fixed_factory, cells)
+    assert_kernel_matches_scalar(trace, model, adversarial_factory, cells)
+
+
+@settings(max_examples=20, deadline=None)
+@given(instances(), st.integers(0, 3))
+def test_zero_alpha_full_trust_slab(inst, seed):
+    trace, model = inst
+    cells = [(0.0, 0.7, seed), (0.0, 1.0, seed), (0.3, 0.7, seed + 1)]
+    assert_kernel_matches_scalar(trace, model, algorithm1_factory, cells)
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(), st.floats(0.0, 1.0), st.booleans(),
+       st.one_of(st.none(), st.integers(0, 8)))
+def test_drain_configurations_bit_identity(inst, alpha, drain, cap):
+    """drain=False and binding event caps replay the scalar semantics
+    (cap-stranded copies finalize in dict-insertion order)."""
+    trace, model = inst
+    pol = LearningAugmentedReplication(
+        NoisyOraclePredictor(trace, 0.5, seed=1), alpha, allow_zero_alpha=True
+    )
+    k = KERNEL.run(trace, model, pol, drain=drain, drain_event_cap=cap)
+    pol2 = LearningAugmentedReplication(
+        NoisyOraclePredictor(trace, 0.5, seed=1), alpha, allow_zero_alpha=True
+    )
+    f = FAST.run(trace, model, pol2, drain=drain, drain_event_cap=cap)
+    assert k.storage_cost == f.storage_cost
+    assert k.transfer_cost == f.transfer_cost
+    assert k.n_transfers == f.n_transfers
+    assert k.engine == "kernel"
+
+
+# ----------------------------------------------------------------------
+# eligibility: Wang and history predictors are honestly gated out
+# ----------------------------------------------------------------------
+
+
+class TestSupports:
+    def setup_method(self):
+        self.trace = uniform_random_trace(n=4, m=40, horizon=300.0, seed=0)
+        self.model = CostModel(lam=20.0, n=4)
+
+    def test_registry_exposes_kernel(self):
+        assert "kernel" in ENGINE_NAMES
+        assert isinstance(get_engine("kernel"), KernelCostEngine)
+
+    def test_supports_algorithm1_and_conventional(self):
+        assert KERNEL.supports(
+            self.trace, self.model,
+            LearningAugmentedReplication(OraclePredictor(self.trace), 0.5),
+        )
+        assert KERNEL.supports(self.trace, self.model, ConventionalReplication())
+
+    def test_wang_not_supported(self):
+        assert not KERNEL.supports(self.trace, self.model, WangReplication())
+        with pytest.raises(EngineError, match="KernelCostEngine"):
+            KERNEL.run(self.trace, self.model, WangReplication())
+
+    def test_history_predictor_not_supported(self):
+        pol = LearningAugmentedReplication(SlidingWindowPredictor(5), 0.5)
+        assert not KERNEL.supports(self.trace, self.model, pol)
+        with pytest.raises(EngineError, match="cannot stream"):
+            KERNEL.run(self.trace, self.model, pol)
+
+    def test_non_uniform_storage_not_supported(self):
+        model = CostModel(lam=20.0, n=4, storage_rates=(1.0, 1.5, 2.0, 2.5))
+        pol = LearningAugmentedReplication(OraclePredictor(self.trace), 0.5)
+        assert not KERNEL.supports(self.trace, model, pol)
+
+    def test_wang_slab_rejected_but_batch_accepts(self):
+        def wang_factory(trace, lam, alpha, accuracy, seed):
+            return WangReplication()
+
+        cells = [(0.5, 1.0, 0), (0.5, 1.0, 1)]
+        assert not KERNEL.supports_slab(
+            self.trace, self.model, wang_factory, cells
+        )
+        assert BATCH.supports_slab(self.trace, self.model, wang_factory, cells)
+        with pytest.raises(EngineError, match="cannot evaluate"):
+            KERNEL.run_slab(self.trace, self.model, wang_factory, cells)
+
+
+# ----------------------------------------------------------------------
+# selection crossovers and slab dispatch
+# ----------------------------------------------------------------------
+
+
+class TestSelection:
+    def setup_method(self):
+        # beyond both measured crossovers
+        self.big = uniform_random_trace(
+            n=4, m=KERNEL_SLAB_MIN_M + 200, horizon=1e6, seed=1
+        )
+        # below the single-cell crossover
+        self.small = uniform_random_trace(n=4, m=60, horizon=400.0, seed=2)
+        self.model = CostModel(lam=20.0, n=4)
+
+    def test_auto_prefers_kernel_above_crossovers(self):
+        pol = LearningAugmentedReplication(OraclePredictor(self.big), 0.5)
+        assert select_engine(self.big, self.model, pol) is get_engine("kernel")
+        assert select_engine(
+            self.big, self.model, pol, "auto", slab_size=8
+        ) is get_engine("kernel")
+
+    def test_auto_keeps_fast_and_batch_below_crossovers(self):
+        pol = LearningAugmentedReplication(OraclePredictor(self.small), 0.5)
+        assert len(self.small) < KERNEL_MIN_M
+        assert select_engine(self.small, self.model, pol) is get_engine("fast")
+        assert select_engine(
+            self.small, self.model, pol, "auto", slab_size=8
+        ) is get_engine("batch")
+
+    def test_wang_falls_back_through_select_engine(self):
+        """Ineligible-for-kernel policies keep their previous tiers even
+        on huge traces: fast for single runs, batch for slabs."""
+        pol = WangReplication()
+        assert select_engine(self.big, self.model, pol) is get_engine("fast")
+        assert select_engine(
+            self.big, self.model, pol, "auto", slab_size=8
+        ) is get_engine("batch")
+
+    def test_history_policy_falls_back_to_reference(self):
+        pol = LearningAugmentedReplication(SlidingWindowPredictor(5), 0.5)
+        assert select_engine(self.big, self.model, pol) is get_engine("reference")
+
+    def test_run_slab_auto_dispatches_kernel_on_long_traces(self):
+        cells = [(0.2, 0.8, 0), (0.7, 0.4, 1), (1.0, 1.0, 0)]
+        runs = run_slab(self.big, self.model, cells, algorithm1_factory)
+        assert all(r.engine == "kernel" for r in runs)
+        batch_runs = run_slab(
+            self.big, self.model, cells, algorithm1_factory, engine="batch"
+        )
+        for a, b in zip(runs, batch_runs):
+            assert a.storage_cost == b.storage_cost
+            assert a.transfer_cost == b.transfer_cost
+
+    def test_run_slab_auto_keeps_batch_on_short_traces(self):
+        cells = [(0.2, 0.8, 0), (0.7, 0.4, 1)]
+        runs = run_slab(self.small, self.model, cells, algorithm1_factory)
+        assert all(r.engine == "batch" for r in runs)
+
+    def test_run_slab_explicit_kernel(self):
+        cells = [(0.2, 0.8, 0), (0.7, 0.4, 1)]
+        runs = run_slab(
+            self.small, self.model, cells, algorithm1_factory, engine="kernel"
+        )
+        assert all(r.engine == "kernel" for r in runs)
+
+    def test_run_slab_explicit_kernel_on_wang_raises(self):
+        def wang_factory(trace, lam, alpha, accuracy, seed):
+            return WangReplication()
+
+        cells = [(0.5, 1.0, 0), (0.5, 1.0, 1)]
+        with pytest.raises(EngineError):
+            run_slab(
+                self.small, self.model, cells, wang_factory, engine="kernel"
+            )
+        # auto routes the same Wang slab onto the batch tier instead
+        runs = run_slab(self.small, self.model, cells, wang_factory)
+        fast = FAST.run(self.small, self.model, WangReplication())
+        for r in runs:
+            assert r.storage_cost == fast.storage_cost
+            assert r.transfer_cost == fast.transfer_cost
+
+
+# ----------------------------------------------------------------------
+# every registered scenario rides the kernel wherever eligible
+# ----------------------------------------------------------------------
+
+
+def test_all_registered_scenarios_kernel_equivalent_where_supported():
+    """Every registered scenario's smoke subset: kernel == fast == batch
+    per cell wherever the slab is kernel-eligible (everything except the
+    Wang baseline grid)."""
+    from repro.experiments import list_scenarios
+
+    kernel_covered = 0
+    wang_excluded = 0
+    for scenario in list_scenarios():
+        lam = scenario.lambdas[0]
+        alpha = scenario.alphas[0]
+        acc = scenario.accuracies[-1]
+        seed = scenario.seeds[0]
+        trace = scenario.build_trace(lam=lam, alpha=alpha, accuracy=acc, seed=seed)
+        model = CostModel(lam=lam, n=trace.n)
+        cells = [(alpha, acc, seed), (scenario.alphas[-1], acc, seed)]
+        if KERNEL.supports_slab(trace, model, scenario.policy_factory, cells):
+            assert_kernel_matches_scalar(
+                trace, model, scenario.policy_factory, cells
+            )
+            kernel_covered += 1
+        elif BATCH.supports_slab(trace, model, scenario.policy_factory, cells):
+            # the kernel-ineligible-but-batchable slabs are Wang's
+            wang_excluded += 1
+            policies = [
+                scenario.policy_factory(trace, lam, *cell) for cell in cells
+            ]
+            assert {type(p) for p in policies} == {WangReplication}
+    # the paper grids, smoke, tight examples, adversary, and the
+    # synthetic workload grids must all ride the kernel path
+    assert kernel_covered >= 11
+
+
+def test_sweep_grid_kernel_engine_matches_fast():
+    trace = ibm_like_trace(n=6, m=400, seed=4)
+    kw = dict(lambdas=(50.0,), alphas=(0.2, 0.8), accuracies=(0.5, 1.0))
+    a = sweep_grid(trace, engine="kernel", **kw)
+    b = sweep_grid(trace, engine="fast", **kw)
+    for pa, pb in zip(a.points, b.points):
+        assert pa.online_cost == pb.online_cost
+        assert pa.optimal_cost == pb.optimal_cost
+
+
+def test_experiment_runner_kernel_engine_matches_fast():
+    from repro.experiments import ExperimentRunner, get_scenario
+
+    scenario = get_scenario("smoke")
+    k = ExperimentRunner(workers=1, engine="kernel").run(scenario)
+    f = ExperimentRunner(workers=1, engine="fast").run(scenario)
+    assert [r.online_cost for r in k.results] == [
+        r.online_cost for r in f.results
+    ]
+
+
+def test_multi_object_kernel_engine():
+    from repro import MultiObjectSystem, ObjectSpec
+
+    tr = uniform_random_trace(n=3, m=30, horizon=200.0, seed=7)
+    spec = ObjectSpec(
+        object_id="obj-a", trace=tr, lam=10.0,
+        policy_factory=lambda trace, model: ConventionalReplication(),
+    )
+    system = MultiObjectSystem(3, [spec])
+    rep_k = system.run(engine="kernel", compute_optimal=False)
+    rep_f = system.run(engine="fast", compute_optimal=False)
+    assert rep_k.outcomes[0].result.total_cost == \
+        rep_f.outcomes[0].result.total_cost
+    assert rep_k.outcomes[0].result.engine == "kernel"
+
+
+def test_cli_sweep_kernel_engine(capsys):
+    from repro.cli import main
+
+    assert main([
+        "sweep", "--lambda", "100", "--requests", "120", "--coarse",
+        "--engine", "kernel",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "alpha\\acc" in out
+
+
+# ----------------------------------------------------------------------
+# prediction-matrix layouts
+# ----------------------------------------------------------------------
+
+
+def test_batch_for_predictors_cell_major_layout():
+    trace = uniform_random_trace(n=4, m=60, horizon=300.0, seed=3)
+    preds = [
+        OraclePredictor(trace),
+        AdversarialPredictor(trace),
+        FixedPredictor(True),
+        NoisyOraclePredictor(trace, 0.6, seed=2),
+    ]
+    cols = PredictionStream.batch_for_predictors(preds, trace, 10.0)
+    rows = PredictionStream.batch_for_predictors(
+        preds, trace, 10.0, cell_major=True
+    )
+    assert cols.shape == (len(trace) + 1, len(preds))
+    assert rows.shape == (len(preds), len(trace) + 1)
+    assert np.array_equal(rows, cols.T)
+    assert rows.flags.c_contiguous
+
+
+# ----------------------------------------------------------------------
+# vectorized brute force == loop reference (satellite)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def brute_instances(draw):
+    n = draw(st.integers(1, 4))
+    m = draw(st.integers(0, 9))
+    gaps = draw(
+        st.lists(
+            st.floats(0.1, 8.0, allow_nan=False, allow_infinity=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    servers = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    lam = draw(st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False))
+    ascending = draw(st.booleans())
+    if ascending:
+        rates = tuple(
+            sorted(
+                draw(
+                    st.lists(
+                        st.floats(0.2, 4.0, allow_nan=False),
+                        min_size=n,
+                        max_size=n,
+                    )
+                )
+            )
+        )
+    else:
+        rates = ()
+    times = np.cumsum(gaps)
+    trace = Trace(n, list(zip(times.tolist(), servers)))
+    return trace, CostModel(lam=lam, n=n, storage_rates=rates)
+
+
+@settings(max_examples=60, deadline=None)
+@given(brute_instances())
+def test_brute_force_vectorized_equals_reference(inst):
+    """The bitmask-array search returns *exactly* the loop formulation's
+    optimum (same doubles, not merely close) on uniform and per-server
+    storage rates alike."""
+    trace, model = inst
+    assert brute_force_optimal_cost(trace, model) == _brute_force_reference(
+        trace, model
+    )
+
+
+def test_brute_force_size_guards_unchanged():
+    trace = uniform_random_trace(n=2, m=20, horizon=100.0, seed=0)
+    model = CostModel(lam=5.0, n=2)
+    with pytest.raises(ValueError, match="too large"):
+        brute_force_optimal_cost(trace, model, max_requests=16)
+    big_n = uniform_random_trace(n=6, m=5, horizon=100.0, seed=0)
+    with pytest.raises(ValueError, match="too large"):
+        brute_force_optimal_cost(big_n, CostModel(lam=5.0, n=6))
+
+
+# ----------------------------------------------------------------------
+# repro bench discovery (satellite)
+# ----------------------------------------------------------------------
+
+
+def test_bench_discovery_finds_runnable_suites():
+    import os
+
+    from repro.cli import _discover_bench_suites
+
+    bench_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+    suites = _discover_bench_suites(bench_dir)
+    for name in ("engines", "batch", "trace", "kernel", "scaling"):
+        assert name in suites
+    # pytest-only figure benchmarks expose no main() and are not listed
+    assert "fig25_28" not in suites
+
+
+def test_bench_cli_list_and_unknown(capsys, tmp_path):
+    from repro.cli import main
+
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel" in out and "scaling" in out
+    assert main(["bench", "no-such-suite"]) == 2
+    assert main(["bench", "--dir", str(tmp_path)]) == 2
