@@ -1,0 +1,168 @@
+"""Telemetry overhead benchmark: the fig25 grid with obs off vs on.
+
+The ``repro.obs`` substrate claims to compile to near-zero overhead when
+disabled (one module-attribute check per call site) and to cost a few
+percent at most when enabled (instrumentation sits at slab/cell/file
+granularity, never inside per-request loops).  This suite measures both
+claims on the paper's *fig25 grid* — the full ``alpha x accuracy`` =
+11 x 11 slab at ``lambda = 10`` on an IBM-like trace — evaluated
+through :func:`repro.core.engine.run_slab` with the ``auto`` engine,
+which is exactly the instrumented path the sweep and the experiment
+runner drive.
+
+Three numbers come out:
+
+* ``disabled_s`` / ``enabled_s`` — best-of-N wall time for the whole
+  slab with instrumentation off and on; ``speedup = disabled_s /
+  enabled_s`` is the gated quantity (default gate
+  :data:`MIN_SPEEDUP` = 0.98, i.e. the enabled path may cost at most
+  ~2%).
+* ``guard_ns`` — nanoseconds per disabled-path guard check, measured on
+  a tight loop of flag reads (the entire cost instrumentation adds to
+  an uninstrumented call site when obs is off).
+* bit-identity — per-cell costs with obs on are asserted equal, bit for
+  bit, to the costs with obs off before any timing is reported.
+
+Standalone use (the CI smoke step runs this via ``repro bench``)::
+
+    python benchmarks/bench_obs.py [--out benchmarks/BENCH_obs.json]
+                                   [--requests 300000]
+                                   [--gate 0.98] [--strict]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+FIG25_LAMBDA = 10.0
+FULL_M = 300_000
+SMOKE_N = 10
+SMOKE_SEED = 0
+
+#: the enabled path may cost at most ~2% over the disabled path at slab
+#: granularity (speedup = disabled / enabled)
+MIN_SPEEDUP = 0.98
+
+#: iterations for the guard micro-benchmark
+GUARD_ITERS = 1_000_000
+
+#: quick profile appended by `repro bench --quick` (the CI smoke step)
+QUICK_ARGS = ["--requests", "50000"]
+
+
+def _grid_cells():
+    from repro.analysis.sweep import PAPER_ACCURACIES, PAPER_ALPHAS
+
+    return [
+        (alpha, acc, SMOKE_SEED)
+        for alpha in PAPER_ALPHAS
+        for acc in PAPER_ACCURACIES
+    ]
+
+
+def _time_guard(iters: int = GUARD_ITERS) -> float:
+    """Nanoseconds per disabled-path guard check (``metrics.enabled``)."""
+    from repro.obs import metrics
+
+    assert not metrics.enabled
+    t0 = time.perf_counter_ns()
+    hits = 0
+    for _ in range(iters):
+        if metrics.enabled:  # the exact call-site pattern
+            hits += 1
+    elapsed = time.perf_counter_ns() - t0
+    assert hits == 0
+    return elapsed / iters
+
+
+def run_obs_overhead(requests: int = FULL_M, repeats: int = 3) -> dict:
+    """Time the fig25 slab with instrumentation off vs on; best of
+    ``repeats`` each, alternating so thermal drift hits both sides."""
+    from repro.analysis.sweep import algorithm1_factory
+    from repro.core.costs import CostModel
+    from repro.core.engine import run_slab
+    from repro.obs import metrics
+    from repro.workloads import ibm_like_trace
+
+    trace = ibm_like_trace(n=SMOKE_N, m=requests, seed=SMOKE_SEED)
+    cells = _grid_cells()
+    model = CostModel(lam=FIG25_LAMBDA, n=trace.n)
+
+    best_off = best_on = float("inf")
+    runs_off = runs_on = None
+    for _ in range(repeats):
+        with metrics.enabled_scope(False):
+            t0 = time.perf_counter()
+            runs_off = run_slab(
+                trace, model, cells, algorithm1_factory, engine="auto"
+            )
+            best_off = min(best_off, time.perf_counter() - t0)
+        with metrics.enabled_scope(True):
+            t0 = time.perf_counter()
+            runs_on = run_slab(
+                trace, model, cells, algorithm1_factory, engine="auto"
+            )
+            best_on = min(best_on, time.perf_counter() - t0)
+
+    # bit-identity: instrumentation must not perturb a single cost
+    for cell, off, on in zip(cells, runs_off, runs_on):
+        assert off.total_cost == on.total_cost, cell
+        assert off.storage_cost == on.storage_cost, cell
+        assert off.transfer_cost == on.transfer_cost, cell
+        assert off.n_transfers == on.n_transfers, cell
+
+    snap = metrics.get_registry().snapshot()
+    cells_counted = sum(
+        c["value"]
+        for c in snap["counters"]
+        if c["name"] == "repro_engine_cells_total"
+    )
+    metrics.reset()
+    guard_ns = _time_guard()
+
+    n_cells = len(cells)
+    return {
+        "grid": "fig25",
+        "lam": FIG25_LAMBDA,
+        "trace": {"workload": "ibm_like", "n": SMOKE_N, "m": requests,
+                  "seed": SMOKE_SEED},
+        "cells": n_cells,
+        "repeats": repeats,
+        "disabled_s": best_off,
+        "enabled_s": best_on,
+        "overhead_pct": (best_on / best_off - 1.0) * 100.0,
+        "speedup": best_off / best_on,
+        "guard_ns": guard_ns,
+        "cells_counted": cells_counted,
+    }
+
+
+def main(argv=None) -> int:
+    from benchcli import flag_value, gate_exit, parse_flags, write_report
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    out, gate, strict = parse_flags(
+        args,
+        os.path.join(os.path.dirname(__file__), "BENCH_obs.json"),
+        MIN_SPEEDUP,
+    )
+    raw = flag_value(args, "--requests")
+    requests = int(raw) if raw is not None else FULL_M
+    report = run_obs_overhead(requests=requests)
+    write_report(report, out)
+    print(
+        f"fig25 grid ({report['cells']} cells, m={requests}): "
+        f"obs off {report['disabled_s']:.2f}s, "
+        f"on {report['enabled_s']:.2f}s "
+        f"({report['overhead_pct']:+.2f}% overhead), "
+        f"guard {report['guard_ns']:.0f}ns/check -> {out}"
+    )
+    return gate_exit(
+        report["speedup"], gate, strict, label="disabled/enabled ratio"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from ..core.costs import CostModel
 from ..core.engine import Engine, run_slab
 from ..core.policy import ReplicationPolicy
 from ..core.trace import Trace
+from ..obs import metrics as _obs
 from ..offline.dp import optimal_cost
 from ..predictions.oracle import NoisyOraclePredictor, OraclePredictor
 
@@ -185,7 +186,12 @@ def sweep_grid(
         if lam not in opt_cache:
             opt_cache[lam] = optimal_cost(trace, model)
         opt = opt_cache[lam]
-        runs = run_slab(trace, model, cells, factory, engine=engine)
+        if _obs.enabled:
+            with _obs.span("sweep.slab", lam=lam, cells=len(cells)):
+                runs = run_slab(trace, model, cells, factory, engine=engine)
+            _obs.counter("repro_sweep_cells_total").inc(len(cells))
+        else:
+            runs = run_slab(trace, model, cells, factory, engine=engine)
         for (alpha, acc, _), run in zip(cells, runs):
             result.add(
                 SweepPoint(

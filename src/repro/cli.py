@@ -26,6 +26,18 @@ Subcommands
     ``main()`` entry point — one invocation replaces the per-benchmark
     CI steps (``--gate``/``--strict`` thread through to every suite,
     ``--quick`` applies each suite's declared smoke profile).
+``obs``
+    Telemetry utilities: ``summary`` pretty-prints a metrics snapshot
+    written by ``--metrics-out``.
+
+The ``sweep``, ``experiments run``, and ``bench`` subcommands accept
+``--metrics-out`` / ``--spans-out``; either flag switches the telemetry
+substrate on for the invocation and exports the collected registry when
+the command finishes (Prometheus text for ``.prom``/``.txt`` metric
+paths, the JSON snapshot otherwise; spans as Chrome trace-event JSON
+loadable in Perfetto).  The global ``--log-level`` / ``--log-json``
+flags attach a structured-logging handler to the library's ``repro``
+logger hierarchy, which is silent by default.
 
 Examples::
 
@@ -33,6 +45,8 @@ Examples::
     repro-replication tight --alpha 0.5
     repro-replication wang --m 500
     repro-replication experiments run fig25 --workers 8
+    repro-replication experiments run smoke --metrics-out m.json --spans-out s.json
+    repro-replication obs summary m.json
     repro-replication trace info workload.csv.gz
     repro-replication trace convert workload.csv workload.npz
     repro-replication bench --quick --gate 1.0 --strict --out-dir .
@@ -72,6 +86,19 @@ from .workloads import (
 __all__ = ["main", "build_parser"]
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Telemetry export flags shared by sweep / experiments run / bench."""
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable telemetry and write the metrics snapshot to PATH "
+        "when the command finishes (.prom/.txt = Prometheus text, "
+        "anything else = JSON snapshot)")
+    parser.add_argument(
+        "--spans-out", default=None, metavar="PATH",
+        help="enable telemetry and write the recorded spans to PATH as "
+        "Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     p = argparse.ArgumentParser(
@@ -79,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Experiments for 'Cost-Driven Data Replication with "
         "Predictions' (SPAA 2024)",
     )
+    p.add_argument("--log-level", default=None, metavar="LEVEL",
+                   help="attach a stderr logging handler to the library's "
+                   "'repro' logger at LEVEL (debug/info/warning/error); "
+                   "the library is silent without it")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit log records as JSON lines instead of "
+                   "key=value text (implies --log-level info unless set)")
     sub = p.add_subparsers(dest="command", required=True)
 
     s = sub.add_parser("sweep", help="Figures 25-28 grid")
@@ -101,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "'reference' = full-telemetry event loop, 'auto' "
                    "(default) = kernel above its measured crossover, "
                    "batch/fast below it")
+    _add_obs_flags(s)
 
     a = sub.add_parser("adaptive", help="Figures 29-32 grid")
     a.add_argument("--lambda", dest="lam", type=float, default=1000.0)
@@ -147,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="simulation engine for grid cells (default: auto "
                     "= loop-free kernel replays or batched slab passes "
                     "where eligible)")
+    _add_obs_flags(er)
 
     tr = sub.add_parser("trace", help="trace files: info / convert")
     tsub = tr.add_subparsers(dest="trace_command", required=True)
@@ -183,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--quick", action="store_true",
                    help="apply each suite's declared QUICK_ARGS smoke "
                    "profile (the CI configuration)")
+    _add_obs_flags(b)
+
+    o = sub.add_parser("obs", help="telemetry snapshots: summary")
+    osub = o.add_subparsers(dest="obs_command", required=True)
+    os_ = osub.add_parser("summary",
+                          help="pretty-print a --metrics-out JSON snapshot")
+    os_.add_argument("path", help="snapshot file written by --metrics-out")
     return p
 
 
@@ -468,9 +511,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import exporters
+
+    try:
+        snap = exporters.load_snapshot_json(args.path)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(exporters.summarize(snap))
+    return 0
+
+
+def _export_obs(args: argparse.Namespace) -> None:
+    """Write the registry collected during this invocation to the paths
+    given by ``--metrics-out`` / ``--spans-out``."""
+    from .obs import exporters, metrics
+
+    snap = metrics.get_registry().snapshot()
+    if args.metrics_out:
+        exporters.write_metrics(snap, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.spans_out:
+        exporters.write_chrome_trace(snap, args.spans_out)
+        print(f"spans written to {args.spans_out}", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.log_level is not None or args.log_json:
+        from .obs import logging as obs_logging
+
+        obs_logging.configure(
+            level=args.log_level or "info", json_output=args.log_json
+        )
+    want_obs = bool(
+        getattr(args, "metrics_out", None) or getattr(args, "spans_out", None)
+    )
+    if want_obs:
+        from .obs import metrics
+
+        metrics.enable()
     handlers = {
         "sweep": _cmd_sweep,
         "adaptive": _cmd_adaptive,
@@ -480,9 +562,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
+        "obs": _cmd_obs,
     }
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
+        if want_obs:
+            _export_obs(args)
+        return code
     except KeyboardInterrupt:
         resumable = (
             args.command == "experiments"
@@ -495,6 +581,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 130
+    finally:
+        if want_obs:
+            # leave no global state behind for in-process callers
+            from .obs import metrics
+
+            metrics.disable()
+            metrics.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover

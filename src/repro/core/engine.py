@@ -196,6 +196,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..obs import metrics as _obs
 from .costs import CostModel
 from .policy import PolicyError, ReplicationPolicy
 from .simulator import SimulationResult, simulate
@@ -267,6 +268,28 @@ class Engine(abc.ABC):
     ):
         """Execute ``policy`` over ``trace``; returns an object exposing
         ``total_cost`` / ``storage_cost`` / ``transfer_cost``."""
+
+    def run_observed(
+        self,
+        trace: Trace,
+        model: CostModel,
+        policy: ReplicationPolicy,
+        drain: bool = True,
+        drain_event_cap: int | None = None,
+    ):
+        """:meth:`run`, wrapped in an ``engine.cell`` telemetry span.
+
+        The disabled path is one flag check and a direct call; dispatch
+        sites (per-cell slab fallback, fleets) call this so per-cell
+        wall time is tagged by engine tier without touching the engine
+        implementations.
+        """
+        if not _obs.enabled:
+            return self.run(trace, model, policy, drain, drain_event_cap)
+        with _obs.span("engine.cell", tier=self.name, m=len(trace)):
+            out = self.run(trace, model, policy, drain, drain_event_cap)
+        _obs.counter("repro_engine_cells_total", tier=self.name).inc()
+        return out
 
 
 class ReferenceEngine(Engine):
@@ -1723,20 +1746,32 @@ def run_slab(
             kernel_able = bool(plan[1])     # Wang plans carry no predictors
             if wants_kernel:
                 if kernel_able:
-                    return _ENGINES["kernel"]._run_plan(trace, model, plan)
+                    return _run_plan_observed("kernel", trace, model, plan)
                 # explicit "kernel" on a Wang slab stays strict: fall
                 # through to the per-cell loop, which raises
             elif engine == "auto" and kernel_able and len(trace) >= KERNEL_SLAB_MIN_M:
-                return _ENGINES["kernel"]._run_plan(trace, model, plan)
+                return _run_plan_observed("kernel", trace, model, plan)
             else:
-                return batch._run_plan(trace, model, plan)
+                return _run_plan_observed("batch", trace, model, plan)
     # per-cell fallback: "auto" keeps auto-selecting; a concrete engine
     # (including explicit "batch") stays strict and raises on policies it
     # cannot execute, exactly as the scalar paths do
     out = []
     for policy in policies:
         eng = select_engine(trace, model, policy, engine)
-        out.append(eng.run(trace, model, policy))
+        out.append(eng.run_observed(trace, model, policy))
+    return out
+
+
+def _run_plan_observed(tier: str, trace: Trace, model: CostModel, plan) -> list:
+    """Execute a slab plan under an ``engine.slab`` span tagged by tier."""
+    eng = _ENGINES[tier]
+    if not _obs.enabled:
+        return eng._run_plan(trace, model, plan)
+    n_cells = len(plan[0])
+    with _obs.span("engine.slab", tier=tier, cells=n_cells, m=len(trace)):
+        out = eng._run_plan(trace, model, plan)
+    _obs.counter("repro_engine_cells_total", tier=tier).inc(n_cells)
     return out
 
 
@@ -1800,8 +1835,21 @@ def select_engine(
         if fast.supports(trace, model, policy):
             kernel = _ENGINES["kernel"]
             floor = KERNEL_SLAB_MIN_M if slab_size > 1 else KERNEL_MIN_M
-            if len(trace) >= floor and kernel.supports(trace, model, policy):
-                return kernel
-            return _ENGINES["batch"] if slab_size > 1 else fast
-        return _ENGINES["reference"]
+            if len(trace) < floor:
+                chosen = _ENGINES["batch"] if slab_size > 1 else fast
+                reason = "below_kernel_crossover"
+            elif kernel.supports(trace, model, policy):
+                chosen, reason = kernel, "kernel_eligible"
+            else:
+                # e.g. Wang's cross-server drop cascade: fast-path
+                # eligible but gated off the segment-scan tier
+                chosen = _ENGINES["batch"] if slab_size > 1 else fast
+                reason = "kernel_ineligible"
+        else:
+            chosen, reason = _ENGINES["reference"], "fast_ineligible"
+        if _obs.enabled:
+            _obs.counter(
+                "repro_engine_select_total", engine=chosen.name, reason=reason
+            ).inc()
+        return chosen
     return get_engine(engine)

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from ..core.trace import Trace
+from ..obs import metrics as _obs
 
 __all__ = [
     "CACHE_VERSION",
@@ -88,8 +89,12 @@ class ResultCache:
                 entry = json.load(fh)
         except (OSError, json.JSONDecodeError):
             self.misses += 1
+            if _obs.enabled:
+                _obs.counter("repro_cache_requests_total", outcome="miss").inc()
             return None
         self.hits += 1
+        if _obs.enabled:
+            _obs.counter("repro_cache_requests_total", outcome="hit").inc()
         return entry.get("value")
 
     def put(self, payload: Mapping[str, Any], value: Mapping[str, Any]) -> str:
@@ -109,6 +114,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if _obs.enabled:
+            _obs.counter("repro_cache_writes_total").inc()
         return key
 
     def contains(self, payload: Mapping[str, Any]) -> bool:

@@ -13,6 +13,8 @@ import sys
 import time
 from typing import IO
 
+from ..obs import metrics as _obs
+
 __all__ = [
     "ProgressReporter",
     "NullProgress",
@@ -42,7 +44,16 @@ class ConsoleProgress(ProgressReporter):
     """Line-based progress on a stream, rate-limited to ``min_interval``.
 
     Prints one line at start (total and cache hits), periodic count
-    lines while jobs execute, and a completion line with throughput.
+    lines with throughput and an ETA while jobs execute, and a
+    completion line with throughput.
+
+    When instrumentation is on (:func:`repro.obs.metrics.enable`) the
+    executed-job count is read from the ``repro_runner_jobs_total``
+    telemetry counter the runner maintains — one source of truth shared
+    with exporters and the summary command — with this reporter's own
+    ``update()`` tally as the floor for callers driving it outside the
+    runner.  Counters are monotonic across runs, so ``start()`` records
+    a baseline.
     """
 
     def __init__(self, stream: IO[str] | None = None, min_interval: float = 0.5):
@@ -54,14 +65,31 @@ class ConsoleProgress(ProgressReporter):
         self._label = ""
         self._t0 = 0.0
         self._last_print = 0.0
+        self._exec_counter = None
+        self._exec_base = 0.0
 
     def _emit(self, text: str) -> None:
         print(text, file=self.stream, flush=True)
+
+    def _executed(self) -> int:
+        """Jobs executed since ``start()``: the telemetry counter when
+        instrumentation is on, this reporter's own tally otherwise."""
+        local = self._done - self._cached
+        if self._exec_counter is None:
+            return local
+        return max(local, int(self._exec_counter.value - self._exec_base))
 
     def start(self, total: int, cached: int = 0, label: str = "") -> None:
         self._total, self._cached, self._done = total, cached, cached
         self._label = label or "experiment"
         self._t0 = self._last_print = time.monotonic()
+        if _obs.enabled:
+            self._exec_counter = _obs.counter(
+                "repro_runner_jobs_total", source="executed"
+            )
+            self._exec_base = self._exec_counter.value
+        else:
+            self._exec_counter = None
         todo = total - cached
         self._emit(
             f"[{self._label}] {total} jobs "
@@ -74,15 +102,23 @@ class ConsoleProgress(ProgressReporter):
         if now - self._last_print < self.min_interval and self._done < self._total:
             return
         self._last_print = now
-        self._emit(f"[{self._label}] {self._done}/{self._total} done")
+        executed = self._executed()
+        done = min(self._total, self._cached + executed)
+        elapsed = now - self._t0
+        line = f"[{self._label}] {done}/{self._total} done"
+        if executed > 0 and elapsed > 0:
+            rate = executed / elapsed
+            remaining = self._total - done
+            line += f" ({rate:.1f} cells/s, eta {remaining / rate:.0f}s)"
+        self._emit(line)
 
     def finish(self) -> None:
         elapsed = time.monotonic() - self._t0
-        executed = self._done - self._cached
+        executed = self._executed()
         rate = executed / elapsed if elapsed > 0 else float("inf")
         self._emit(
             f"[{self._label}] finished: {executed} executed, "
-            f"{self._cached} cached in {elapsed:.1f}s ({rate:.1f} jobs/s)"
+            f"{self._cached} cached in {elapsed:.1f}s ({rate:.1f} cells/s)"
         )
 
 

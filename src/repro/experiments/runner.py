@@ -37,16 +37,17 @@ import multiprocessing
 import os
 import sys
 import tempfile
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..analysis.sweep import SweepPoint, SweepResult, algorithm1_factory
 from ..core.costs import CostModel
 from ..core.engine import Engine, run_slab, select_engine
 from ..core.trace import Trace
+from ..obs import metrics as _obs
+from ..obs.logging import get_logger, kv
 from ..offline.dp import optimal_cost
 from .cache import NullCache, ResultCache, trace_digest
 from .progress import NullProgress, ProgressReporter
@@ -58,6 +59,8 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
 ]
+
+_log = get_logger("experiments.runner")
 
 
 @dataclass(frozen=True)
@@ -204,16 +207,42 @@ def _resolve_trace(trace_key: tuple) -> Trace:
     return trace
 
 
-def _opt_task(item: tuple[tuple, float]) -> tuple[tuple, float, float]:
+#: bucket bounds for the cells-per-dispatched-chunk histogram: 1 cell up
+#: to 10k cells, two buckets per decade
+_SLAB_CELL_BUCKETS = _obs.log_buckets(1.0, 1e4, per_decade=2)
+
+
+def _chunk_observed(kind: str, cells: int, thunk: Callable[[], Any]):
+    """Run one worker chunk, piggybacking telemetry on its result.
+
+    Every task function returns ``(payload, delta)`` where ``delta`` is
+    the worker's drained registry snapshot (None when instrumentation is
+    off, so the disabled path ships no extra bytes over the IPC).  The
+    parent folds each delta in with :func:`repro.obs.metrics.merge_delta`
+    at the consumption site.
+    """
+    if not _obs.enabled:
+        return thunk(), None
+    with _obs.span("runner.chunk", kind=kind, cells=cells) as sp:
+        payload = thunk()
+    _obs.counter("repro_worker_busy_seconds_total").inc(sp.elapsed)
+    return payload, _obs.drain()
+
+
+def _opt_task(item: tuple[tuple, float]):
     trace_key, lam = item
-    trace = _resolve_trace(trace_key)
-    opt = optimal_cost(trace, CostModel(lam=lam, n=trace.n))
-    return trace_key, lam, opt
+
+    def compute() -> tuple[tuple, float, float]:
+        trace = _resolve_trace(trace_key)
+        opt = optimal_cost(trace, CostModel(lam=lam, n=trace.n))
+        return trace_key, lam, opt
+
+    return _chunk_observed("opt", 1, compute)
 
 
 def _slab_chunk_task(
     item: tuple[tuple, float, Sequence[tuple[int, float, float, int]]],
-) -> list[tuple[int, float]]:
+):
     """Evaluate one slab chunk: cells sharing a ``(trace, lambda)``.
 
     ``item`` is ``(trace_key, lam, cells)`` with each cell an
@@ -223,38 +252,49 @@ def _slab_chunk_task(
     round covers the entire slab either way.
     """
     trace_key, lam, cells = item
-    ctx = _ctx()
-    scenario: Scenario = ctx["scenario"]
-    trace = _resolve_trace(trace_key)
-    engine = ctx.get("engine", "auto")
-    model = CostModel(lam=lam, n=trace.n)
-    runs = run_slab(
-        trace,
-        model,
-        [(alpha, accuracy, seed) for _, alpha, accuracy, seed in cells],
-        scenario.policy_factory,
-        engine=engine,
-    )
-    return [(cell[0], run.total_cost) for cell, run in zip(cells, runs)]
+    if _obs.enabled:
+        _obs.histogram(
+            "repro_runner_slab_cells", bounds=_SLAB_CELL_BUCKETS
+        ).observe(len(cells))
 
-
-def _fleet_chunk_task(indices: Sequence[int]) -> list[tuple[int, Any, float]]:
-    ctx = _ctx()
-    specs = ctx["specs"]
-    n: int = ctx["n"]
-    compute_optimal: bool = ctx["compute_optimal"]
-    engine = ctx.get("engine", "reference")
-    out = []
-    for i in indices:
-        spec = specs[i]
-        model = CostModel(lam=spec.lam, n=n)
-        policy = spec.policy_factory(spec.trace, model)
-        result = select_engine(spec.trace, model, policy, engine).run(
-            spec.trace, model, policy
+    def compute() -> list[tuple[int, float]]:
+        ctx = _ctx()
+        scenario: Scenario = ctx["scenario"]
+        trace = _resolve_trace(trace_key)
+        engine = ctx.get("engine", "auto")
+        model = CostModel(lam=lam, n=trace.n)
+        runs = run_slab(
+            trace,
+            model,
+            [(alpha, accuracy, seed) for _, alpha, accuracy, seed in cells],
+            scenario.policy_factory,
+            engine=engine,
         )
-        opt = optimal_cost(spec.trace, model) if compute_optimal else 0.0
-        out.append((i, result, opt))
-    return out
+        return [(cell[0], run.total_cost) for cell, run in zip(cells, runs)]
+
+    return _chunk_observed("sim", len(cells), compute)
+
+
+def _fleet_chunk_task(indices: Sequence[int]):
+    def compute() -> list[tuple[int, Any, float]]:
+        ctx = _ctx()
+        specs = ctx["specs"]
+        n: int = ctx["n"]
+        compute_optimal: bool = ctx["compute_optimal"]
+        engine = ctx.get("engine", "reference")
+        out = []
+        for i in indices:
+            spec = specs[i]
+            model = CostModel(lam=spec.lam, n=n)
+            policy = spec.policy_factory(spec.trace, model)
+            result = select_engine(spec.trace, model, policy, engine).run_observed(
+                spec.trace, model, policy
+            )
+            opt = optimal_cost(spec.trace, model) if compute_optimal else 0.0
+            out.append((i, result, opt))
+        return out
+
+    return _chunk_observed("fleet", len(indices), compute)
 
 
 def _fork_context():
@@ -479,7 +519,12 @@ class ExperimentRunner:
         self.progress.start(len(specs), label="fleet")
         outcomes: dict[int, ObjectOutcome] = {}
         with _Executor(self.workers, context) as ex:
-            for batch in ex.run(_fleet_chunk_task, chunks):
+            for batch, delta in ex.run(_fleet_chunk_task, chunks):
+                _obs.merge_delta(delta)
+                if _obs.enabled:
+                    _obs.counter(
+                        "repro_runner_jobs_total", source="executed"
+                    ).inc(len(batch))
                 for i, result, opt in batch:
                     outcomes[i] = ObjectOutcome(specs[i].object_id, result, opt)
                     self.progress.update()
@@ -534,6 +579,15 @@ class ExperimentRunner:
                 tmp_path = root / f".{digest}.{os.getpid()}.tmp.npz"
                 save_trace_npz(traces[k], tmp_path)
                 os.replace(tmp_path, path)
+                _log.info(
+                    "trace spooled",
+                    **kv(digest=digest[:12], bytes=path.stat().st_size),
+                )
+                if _obs.enabled:
+                    _obs.counter("repro_runner_spool_files_total").inc()
+                    _obs.counter("repro_runner_spool_bytes_total").inc(
+                        path.stat().st_size
+                    )
             trace_files[k] = (digest, str(path))
         inherit = {k: tr for k, tr in traces.items() if k not in trace_files}
         return inherit, trace_files, cleanup
@@ -570,11 +624,47 @@ class ExperimentRunner:
         sim_cache: ResultCache | NullCache | None = None,
         engine: str | Engine | None = None,
     ) -> ExperimentResult:
+        busy0 = (
+            _obs.counter("repro_worker_busy_seconds_total").value
+            if _obs.enabled
+            else 0.0
+        )
+        # the span both records the scenario in the timeline (when
+        # enabled) and is the stopwatch behind ExperimentResult.elapsed
+        with _obs.timed_span("runner.scenario", scenario=scenario.name) as sp:
+            out = self._run_scenario_inner(
+                scenario, optimal_cache, sim_cache, engine
+            )
+        out.elapsed = sp.elapsed
+        _log.info(
+            "scenario finished",
+            **kv(
+                scenario=scenario.name,
+                jobs=len(out),
+                executed=out.executed,
+                cached=out.cached,
+                workers=self.workers,
+                elapsed_s=round(out.elapsed, 3),
+            ),
+        )
+        if _obs.enabled and out.elapsed > 0:
+            busy = _obs.counter("repro_worker_busy_seconds_total").value - busy0
+            _obs.gauge("repro_worker_utilization").set(
+                min(1.0, busy / (self.workers * out.elapsed))
+            )
+        return out
+
+    def _run_scenario_inner(
+        self,
+        scenario: Scenario,
+        optimal_cache: dict[float, float] | None,
+        sim_cache: ResultCache | NullCache | None,
+        engine: str | Engine | None,
+    ) -> ExperimentResult:
         if sim_cache is None:
             sim_cache = self.cache
         if engine is None:
             engine = self.engine
-        t0 = time.perf_counter()
         jobs = _enumerate_jobs(scenario)
         out = ExperimentResult(
             scenario=scenario.name,
@@ -607,29 +697,40 @@ class ExperimentRunner:
         opt_pairs = list(dict.fromkeys((j.trace_key, j.lam) for j in jobs))
         opt_misses: list[tuple[tuple, float]] = []
         single_trace = len(traces) == 1
-        for tk, lam in opt_pairs:
-            if optimal_cache is not None and single_trace and lam in optimal_cache:
-                opts[(tk, lam)] = optimal_cache[lam]
-                out.opt_cached += 1
-                continue
-            hit = self.cache.get(self._opt_payload(scenario, digests[tk], lam))
-            if hit is not None:
-                opts[(tk, lam)] = float(hit["optimal_cost"])
-                out.opt_cached += 1
-            else:
-                opt_misses.append((tk, lam))
+        with _obs.span("runner.cache_lookup", jobs=len(jobs)):
+            for tk, lam in opt_pairs:
+                if (
+                    optimal_cache is not None
+                    and single_trace
+                    and lam in optimal_cache
+                ):
+                    opts[(tk, lam)] = optimal_cache[lam]
+                    out.opt_cached += 1
+                    continue
+                hit = self.cache.get(
+                    self._opt_payload(scenario, digests[tk], lam)
+                )
+                if hit is not None:
+                    opts[(tk, lam)] = float(hit["optimal_cost"])
+                    out.opt_cached += 1
+                else:
+                    opt_misses.append((tk, lam))
 
-        # ----- simulations: consult the cache, then dispatch misses ---
-        sim_misses: list[Job] = []
-        for job in jobs:
-            hit = sim_cache.get(
-                self._sim_payload(scenario, digests[job.trace_key], job)
+            # ----- simulations: consult the cache, then dispatch misses
+            sim_misses: list[Job] = []
+            for job in jobs:
+                hit = sim_cache.get(
+                    self._sim_payload(scenario, digests[job.trace_key], job)
+                )
+                if hit is not None:
+                    online[job.index] = (float(hit["online_cost"]), True)
+                    out.cached += 1
+                else:
+                    sim_misses.append(job)
+        if _obs.enabled:
+            _obs.counter("repro_runner_jobs_total", source="cached").inc(
+                out.cached
             )
-            if hit is not None:
-                online[job.index] = (float(hit["online_cost"]), True)
-                out.cached += 1
-            else:
-                sim_misses.append(job)
 
         self.progress.start(
             len(jobs), cached=out.cached, label=scenario.name
@@ -658,7 +759,8 @@ class ExperimentRunner:
         tasks += [("sim", _slab_chunk_task, chunk) for chunk in chunks]
         try:
             with _Executor(self.workers, context) as ex:
-                for tag, result in ex.run_tagged(tasks):
+                for tag, (result, delta) in ex.run_tagged(tasks):
+                    _obs.merge_delta(delta)
                     if tag == "opt":
                         tk, lam, opt = result
                         opts[(tk, lam)] = opt
@@ -670,6 +772,10 @@ class ExperimentRunner:
                         if optimal_cache is not None and single_trace:
                             optimal_cache[lam] = opt
                         continue
+                    if _obs.enabled:
+                        _obs.counter(
+                            "repro_runner_jobs_total", source="executed"
+                        ).inc(len(result))
                     for index, cost in result:
                         online[index] = (cost, False)
                         out.executed += 1
@@ -694,7 +800,6 @@ class ExperimentRunner:
                     cached=was_cached,
                 )
             )
-        out.elapsed = time.perf_counter() - t0
         self.progress.finish()
         return out
 

@@ -1,0 +1,266 @@
+"""Telemetry exporters: JSON snapshot, Prometheus text, Chrome trace.
+
+All three exporters consume the plain-dict snapshot produced by
+:meth:`repro.obs.metrics.Registry.snapshot` (never live registry
+objects), so exporting is side-effect free and a snapshot written today
+re-exports identically tomorrow.
+
+* :func:`write_snapshot_json` / :func:`load_snapshot_json` — the
+  canonical on-disk form; round-trips exactly.
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``name{label="v"} value`` samples, cumulative
+  ``_bucket``/``_sum``/``_count`` histogram series), suitable for a
+  textfile collector or a pushgateway.
+* :func:`to_chrome_trace` — Chrome trace-event JSON (complete ``"X"``
+  events in microseconds), loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev for a span timeline across processes.
+* :func:`summarize` — the human-readable rendering behind
+  ``repro obs summary``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "write_snapshot_json",
+    "load_snapshot_json",
+    "to_prometheus",
+    "to_chrome_trace",
+    "write_metrics",
+    "write_chrome_trace",
+    "summarize",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _check_snapshot(snap: Mapping[str, Any]) -> Mapping[str, Any]:
+    if snap.get("kind") != "repro-obs-snapshot":
+        raise ValueError("not a repro obs snapshot (missing kind marker)")
+    return snap
+
+
+# ----------------------------------------------------------------------
+# JSON snapshot
+# ----------------------------------------------------------------------
+
+
+def write_snapshot_json(snap: Mapping[str, Any], path: str | os.PathLike) -> None:
+    """Write a registry snapshot as indented JSON."""
+    _check_snapshot(snap)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snap, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_snapshot_json(path: str | os.PathLike) -> dict[str, Any]:
+    """Read a snapshot back; validates the kind marker."""
+    with open(path, "r", encoding="utf-8") as fh:
+        snap = json.load(fh)
+    _check_snapshot(snap)
+    return snap
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _prom_value(v: float) -> str:
+    if isinstance(v, float) and math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+def _prom_labels(tags: Mapping[str, Any], extra: tuple = ()) -> str:
+    items = [(k, v) for k, v in sorted(tags.items())] + list(extra)
+    if not items:
+        return ""
+    parts = []
+    for k, v in items:
+        val = str(v).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        parts.append(f'{_LABEL_RE.sub("_", str(k))}="{val}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def to_prometheus(snap: Mapping[str, Any]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    _check_snapshot(snap)
+    by_name: dict[tuple[str, str], list[str]] = defaultdict(list)
+    for c in snap.get("counters", ()):
+        name = _prom_name(c["name"])
+        by_name[(name, "counter")].append(
+            f"{name}{_prom_labels(c['tags'])} {_prom_value(c['value'])}"
+        )
+    for g in snap.get("gauges", ()):
+        name = _prom_name(g["name"])
+        by_name[(name, "gauge")].append(
+            f"{name}{_prom_labels(g['tags'])} {_prom_value(g['value'])}"
+        )
+    for h in snap.get("histograms", ()):
+        name = _prom_name(h["name"])
+        lines = by_name[(name, "histogram")]
+        cum = 0
+        for bound, n in zip(h["bounds"], h["counts"]):
+            cum += n
+            lines.append(
+                f"{name}_bucket"
+                f"{_prom_labels(h['tags'], (('le', _prom_value(float(bound))),))}"
+                f" {cum}"
+            )
+        cum += h["counts"][len(h["bounds"])]
+        lines.append(
+            f"{name}_bucket{_prom_labels(h['tags'], (('le', '+Inf'),))} {cum}"
+        )
+        lines.append(f"{name}_sum{_prom_labels(h['tags'])} {_prom_value(h['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(h['tags'])} {h['count']}")
+    out: list[str] = []
+    for (name, kind), lines in sorted(by_name.items()):
+        out.append(f"# TYPE {name} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format (Perfetto-loadable)
+# ----------------------------------------------------------------------
+
+
+def to_chrome_trace(snap: Mapping[str, Any]) -> dict[str, Any]:
+    """Render the snapshot's spans as Chrome trace-event JSON.
+
+    Complete (``"ph": "X"``) events, timestamps in microseconds,
+    normalised so the earliest span starts at 0.  Each span's tags are
+    exposed as ``args``; the category is the span-name prefix before the
+    first dot (``engine.slab`` -> ``engine``), which Perfetto can filter
+    on.
+    """
+    _check_snapshot(snap)
+    spans = snap.get("spans", [])
+    t0 = min((s["start_ns"] for s in spans), default=0)
+    events: list[dict[str, Any]] = []
+    for s in spans:
+        name = s["name"]
+        events.append(
+            {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (s["start_ns"] - t0) / 1e3,
+                "dur": s["dur_ns"] / 1e3,
+                "pid": s["pid"],
+                "tid": s["tid"],
+                "args": dict(s["tags"]),
+            }
+        )
+    pids = sorted({s["pid"] for s in spans})
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped_spans": snap.get("dropped_spans", 0)},
+    }
+
+
+# ----------------------------------------------------------------------
+# path-based front doors (CLI)
+# ----------------------------------------------------------------------
+
+
+def write_metrics(snap: Mapping[str, Any], path: str | os.PathLike) -> None:
+    """Write metrics to ``path``: Prometheus text for ``.prom`` / ``.txt``
+    suffixes, the JSON snapshot otherwise."""
+    if Path(path).suffix.lower() in (".prom", ".txt"):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus(snap))
+    else:
+        write_snapshot_json(snap, path)
+
+
+def write_chrome_trace(snap: Mapping[str, Any], path: str | os.PathLike) -> None:
+    """Write the snapshot's spans as a Chrome trace JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(snap), fh, indent=2)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# human-readable summary
+# ----------------------------------------------------------------------
+
+
+def _fmt_tags(tags: Mapping[str, Any]) -> str:
+    if not tags:
+        return ""
+    return "{" + ", ".join(f"{k}={v}" for k, v in sorted(tags.items())) + "}"
+
+
+def summarize(snap: Mapping[str, Any]) -> str:
+    """Pretty-print a snapshot (the ``repro obs summary`` output)."""
+    _check_snapshot(snap)
+    lines: list[str] = []
+    counters = snap.get("counters", [])
+    gauges = snap.get("gauges", [])
+    histograms = snap.get("histograms", [])
+    spans = snap.get("spans", [])
+    lines.append(
+        f"obs snapshot: {len(counters)} counters, {len(gauges)} gauges, "
+        f"{len(histograms)} histograms, {len(spans)} spans"
+        + (
+            f" ({snap['dropped_spans']} dropped)"
+            if snap.get("dropped_spans")
+            else ""
+        )
+    )
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for c in counters:
+            lines.append(f"  {c['name']}{_fmt_tags(c['tags'])} = {c['value']:g}")
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for g in gauges:
+            lines.append(f"  {g['name']}{_fmt_tags(g['tags'])} = {g['value']:g}")
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        for h in histograms:
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {h['name']}{_fmt_tags(h['tags'])}: "
+                f"count={h['count']} sum={h['sum']:g} mean={mean:g}"
+            )
+    if spans:
+        lines.append("")
+        lines.append("span totals (wall time by name):")
+        by_name: dict[str, tuple[int, float]] = {}
+        for s in spans:
+            n, tot = by_name.get(s["name"], (0, 0.0))
+            by_name[s["name"]] = (n + 1, tot + s["dur_ns"] * 1e-9)
+        width = max(len(n) for n in by_name)
+        for name in sorted(by_name, key=lambda n: -by_name[n][1]):
+            n, tot = by_name[name]
+            lines.append(f"  {name:<{width}}  n={n:<6d} total={tot:.4f}s")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Structured logging for the library: key=value or JSON lines.
+
+The library logs under the ``"repro"`` logger hierarchy and is silent by
+default (a ``NullHandler`` on the root library logger, per the stdlib
+convention for libraries) — importing :mod:`repro` never configures the
+logging system or writes to ``sys.stderr``.  Applications opt in with
+:func:`configure`, and the ``repro`` CLI does so through its
+``--log-level`` / ``--log-json`` flags.
+
+Structured fields travel on the standard :mod:`logging` machinery: pass
+``extra={"fields": {...}}`` (or use the :func:`kv` shorthand) and both
+formatters render the mapping — :class:`KeyValueFormatter` as trailing
+``key=value`` tokens, :class:`JsonFormatter` as one JSON object per
+line.  Handlers attached by other applications see ordinary
+``LogRecord`` objects either way.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Any, Mapping
+
+__all__ = [
+    "LIBRARY_LOGGER",
+    "get_logger",
+    "configure",
+    "kv",
+    "KeyValueFormatter",
+    "JsonFormatter",
+]
+
+#: the root of the library's logger hierarchy
+LIBRARY_LOGGER = "repro"
+
+# library convention: silent unless the application configures handlers
+logging.getLogger(LIBRARY_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger inside the library hierarchy.
+
+    ``get_logger("experiments.runner")`` names
+    ``repro.experiments.runner``; ``None`` returns the root library
+    logger.  Loggers are silent until :func:`configure` (or an
+    application's own handler setup) attaches handlers.
+    """
+    if name is None or name == LIBRARY_LOGGER:
+        return logging.getLogger(LIBRARY_LOGGER)
+    if name.startswith(LIBRARY_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LIBRARY_LOGGER}.{name}")
+
+
+def kv(**fields: Any) -> dict[str, Any]:
+    """Shorthand for the structured-fields ``extra``:
+    ``log.info("spooled", **kv(bytes=123))``."""
+    return {"extra": {"fields": fields}}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``time level logger message key=value ...`` single-line records."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record)} {record.levelname.lower():<7} "
+            f"{record.name} {record.getMessage()}"
+        )
+        fields: Mapping[str, Any] | None = getattr(record, "fields", None)
+        if fields:
+            base += " " + " ".join(f"{k}={v}" for k, v in fields.items())
+        if record.exc_info:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg, plus fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        fields: Mapping[str, Any] | None = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure(
+    level: str | int = "warning",
+    json_output: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Attach one stream handler to the library root logger.
+
+    Idempotent: a handler previously attached by this function is
+    replaced, not stacked, so repeated CLI invocations in one process
+    never duplicate lines.  Returns the configured library logger.
+    """
+    logger = logging.getLogger(LIBRARY_LOGGER)
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_output else KeyValueFormatter())
+    handler.set_name("repro-obs-logging")
+    for h in list(logger.handlers):
+        if h.get_name() == "repro-obs-logging":
+            logger.removeHandler(h)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

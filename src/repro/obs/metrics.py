@@ -1,0 +1,511 @@
+"""Process-local telemetry instruments: counters, gauges, histograms, spans.
+
+The module keeps exactly one piece of mutable global state per process —
+:data:`enabled`, the instrumentation switch, plus the process registry it
+guards — and exposes two families of API:
+
+* **instruments** (:class:`Counter`, :class:`Gauge`, :class:`Histogram`)
+  — plain accumulator objects with no locks and no I/O, created
+  get-or-create style from a :class:`Registry` keyed by ``(name, tags)``;
+* **spans** (:func:`span`, :func:`timed_span`, :func:`traced`) —
+  monotonic-clock wall-time intervals recorded as flat tuples into the
+  registry's span log, exportable as a Chrome trace timeline.
+
+Call sites throughout the library guard their instrumentation with one
+module-attribute read (``if metrics.enabled:``); see the package
+docstring (:mod:`repro.obs`) for the zero-overhead and bit-identity
+arguments.
+
+Fork/merge protocol
+-------------------
+:func:`get_registry` is fork-aware: a registry inherited through
+``fork()`` is discarded on first access in the child (the pid no longer
+matches), so worker processes always start from an empty registry and
+their telemetry is never double-counted against the parent's.  Workers
+call :func:`drain` at the end of each task and piggyback the returned
+delta dict on their result IPC; the parent calls :func:`merge_delta` on
+each one.  Merging is commutative for counters and histograms (integer
+and float additions of disjoint work), takes the maximum for gauges, and
+concatenates span logs — so the merged registry's counter values do not
+depend on worker scheduling order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import functools
+import math
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Mapping, NamedTuple
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "enabled_scope",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "SpanRecord",
+    "Span",
+    "NOOP_SPAN",
+    "span",
+    "timed_span",
+    "traced",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "reset",
+    "drain",
+    "merge_delta",
+    "log_buckets",
+    "DEFAULT_TIME_BUCKETS",
+    "MAX_SPANS",
+]
+
+#: the module-level instrumentation switch.  Call sites read it as a
+#: module attribute (``metrics.enabled``) so :func:`enable` /
+#: :func:`disable` take effect everywhere immediately; never import the
+#: bare name (``from ... import enabled`` would freeze its value).
+enabled: bool = False
+
+#: span-log cap per registry: a bound on telemetry memory, not a silent
+#: truncation — overflow increments :attr:`Registry.dropped_spans`,
+#: which every exporter surfaces.
+MAX_SPANS = 100_000
+
+
+def enable() -> None:
+    """Turn instrumentation on for this process (and future forks)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off; the registry contents are kept."""
+    global enabled
+    enabled = False
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily set the enabled flag (tests and benchmarks)."""
+    global enabled
+    prev = enabled
+    enabled = on
+    try:
+        yield
+    finally:
+        enabled = prev
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 3) -> tuple[float, ...]:
+    """Fixed log-spaced histogram bucket upper bounds, ``lo`` .. ``hi``.
+
+    Returns ``per_decade`` geometrically spaced bounds per factor of 10,
+    endpoints included; every histogram sharing ``(lo, hi, per_decade)``
+    gets bit-identical bounds, which is what makes cross-process
+    histogram merges well defined.
+    """
+    if not (0 < lo < hi):
+        raise ValueError(f"need 0 < lo < hi, got ({lo}, {hi})")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    n = round(math.log10(hi / lo) * per_decade)
+    return tuple(lo * 10 ** (k / per_decade) for k in range(n + 1))
+
+
+#: default bounds for wall-time histograms: 10 microseconds to 1000
+#: seconds, two buckets per decade (plus the implicit +Inf overflow)
+DEFAULT_TIME_BUCKETS = log_buckets(1e-5, 1e3, per_decade=2)
+
+
+def _tag_key(tags: Mapping[str, Any]) -> tuple:
+    # keys are unique, so sorting never compares the (possibly
+    # heterogeneous) values
+    return tuple(sorted(tags.items()))
+
+
+class Counter:
+    """A monotonically increasing accumulator (int or float increments)."""
+
+    kind = "counter"
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name: str, tags: Mapping[str, Any] | None = None):
+        self.name = name
+        self.tags = dict(tags or {})
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.tags!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins; merges take the max)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name: str, tags: Mapping[str, Any] | None = None):
+        self.name = name
+        self.tags = dict(tags or {})
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.tags!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with log-spaced upper bounds.
+
+    ``bounds`` are ascending inclusive upper bounds; one implicit +Inf
+    overflow bucket follows them (``counts`` has ``len(bounds) + 1``
+    entries).  ``observe`` is two integer updates and one float add — no
+    allocation, no sorting.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "tags", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        tags: Mapping[str, Any] | None = None,
+        bounds: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ):
+        self.name = name
+        self.tags = dict(tags or {})
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly ascending")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram({self.name!r}, {self.tags!r}, count={self.count}, "
+            f"sum={self.sum})"
+        )
+
+
+class SpanRecord(NamedTuple):
+    """One finished span: flat, picklable, exporter-ready."""
+
+    name: str
+    tags: tuple  # sorted (key, value) pairs
+    start_ns: int
+    dur_ns: int
+    pid: int
+    tid: int
+
+
+class Registry:
+    """Process-local home of every instrument and the span log.
+
+    Not thread-safe by design: the library's hot paths are single-
+    threaded per process (workers are processes, not threads), and a
+    lock per ``inc()`` would be most of the cost of the instrument.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+        self.spans: list[SpanRecord] = []
+        self.dropped_spans: int = 0
+        self.pid = os.getpid()
+
+    # -- instruments ---------------------------------------------------
+    def counter(self, name: str, **tags: Any) -> Counter:
+        key = ("counter", name, _tag_key(tags))
+        hit = self._metrics.get(key)
+        if hit is None:
+            hit = self._metrics[key] = Counter(name, tags)
+        return hit
+
+    def gauge(self, name: str, **tags: Any) -> Gauge:
+        key = ("gauge", name, _tag_key(tags))
+        hit = self._metrics.get(key)
+        if hit is None:
+            hit = self._metrics[key] = Gauge(name, tags)
+        return hit
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+        **tags: Any,
+    ) -> Histogram:
+        key = ("histogram", name, _tag_key(tags))
+        hit = self._metrics.get(key)
+        if hit is None:
+            hit = self._metrics[key] = Histogram(name, tags, bounds)
+        return hit
+
+    def record_span(
+        self, name: str, tags: Mapping[str, Any], start_ns: int, dur_ns: int
+    ) -> None:
+        if len(self.spans) >= MAX_SPANS:
+            self.dropped_spans += 1
+            return
+        self.spans.append(
+            SpanRecord(
+                name,
+                _tag_key(tags),
+                start_ns,
+                dur_ns,
+                os.getpid(),
+                threading.get_ident(),
+            )
+        )
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serialisable copy of everything recorded so far.
+
+        Metric lists are sorted by ``(name, tags)`` so two registries
+        holding the same values produce byte-identical snapshots
+        regardless of creation order.
+        """
+        counters, gauges, histograms = [], [], []
+        for (kind, name, tkey), m in sorted(self._metrics.items()):
+            entry: dict[str, Any] = {"name": name, "tags": dict(tkey)}
+            if kind == "counter":
+                entry["value"] = m.value
+                counters.append(entry)
+            elif kind == "gauge":
+                entry["value"] = m.value
+                gauges.append(entry)
+            else:
+                entry["bounds"] = list(m.bounds)
+                entry["counts"] = list(m.counts)
+                entry["sum"] = m.sum
+                entry["count"] = m.count
+                histograms.append(entry)
+        return {
+            "kind": "repro-obs-snapshot",
+            "version": 1,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": [
+                {
+                    "name": s.name,
+                    "tags": dict(s.tags),
+                    "start_ns": s.start_ns,
+                    "dur_ns": s.dur_ns,
+                    "pid": s.pid,
+                    "tid": s.tid,
+                }
+                for s in self.spans
+            ],
+            "dropped_spans": self.dropped_spans,
+        }
+
+    def merge(self, delta: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` / :func:`drain` delta into this registry.
+
+        Counter and histogram contributions add; gauges keep the maximum
+        (the only commutative, order-independent choice without
+        timestamps); spans append subject to :data:`MAX_SPANS`.
+        """
+        if delta.get("kind") != "repro-obs-snapshot":
+            raise ValueError("not an obs snapshot delta")
+        for c in delta.get("counters", ()):
+            self.counter(c["name"], **c["tags"]).inc(c["value"])
+        for g in delta.get("gauges", ()):
+            inst = self.gauge(g["name"], **g["tags"])
+            inst.value = max(inst.value, g["value"])
+        for h in delta.get("histograms", ()):
+            inst = self.histogram(
+                h["name"], bounds=tuple(h["bounds"]), **h["tags"]
+            )
+            if list(inst.bounds) != list(h["bounds"]):
+                raise ValueError(
+                    f"histogram {h['name']!r} bucket bounds mismatch on merge"
+                )
+            for i, n in enumerate(h["counts"]):
+                inst.counts[i] += n
+            inst.sum += h["sum"]
+            inst.count += h["count"]
+        for s in delta.get("spans", ()):
+            if len(self.spans) >= MAX_SPANS:
+                self.dropped_spans += 1
+                continue
+            self.spans.append(
+                SpanRecord(
+                    s["name"],
+                    tuple(sorted(s["tags"].items())),
+                    s["start_ns"],
+                    s["dur_ns"],
+                    s["pid"],
+                    s["tid"],
+                )
+            )
+        self.dropped_spans += delta.get("dropped_spans", 0)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+        self.spans.clear()
+        self.dropped_spans = 0
+
+
+# ----------------------------------------------------------------------
+# process registry (fork-aware)
+# ----------------------------------------------------------------------
+_REGISTRY = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-local registry.
+
+    A registry inherited through ``fork()`` is replaced by a fresh one on
+    first access in the child, so worker telemetry starts at zero and the
+    parent's counts are never replayed through a worker delta.
+    """
+    global _REGISTRY
+    if _REGISTRY.pid != os.getpid():
+        _REGISTRY = Registry()
+    return _REGISTRY
+
+
+def counter(name: str, **tags: Any) -> Counter:
+    """Get-or-create a counter in the process registry."""
+    return get_registry().counter(name, **tags)
+
+
+def gauge(name: str, **tags: Any) -> Gauge:
+    """Get-or-create a gauge in the process registry."""
+    return get_registry().gauge(name, **tags)
+
+
+def histogram(
+    name: str, bounds: tuple[float, ...] = DEFAULT_TIME_BUCKETS, **tags: Any
+) -> Histogram:
+    """Get-or-create a histogram in the process registry."""
+    return get_registry().histogram(name, bounds=bounds, **tags)
+
+
+def reset() -> None:
+    """Clear the process registry (tests, or between CLI invocations)."""
+    get_registry().reset()
+
+
+def drain() -> dict[str, Any] | None:
+    """Snapshot-and-clear the process registry; None when disabled.
+
+    Worker task functions call this once per task and ship the delta
+    back on the result IPC; :func:`merge_delta` folds it into the
+    parent.  In-process execution drains and re-merges the same
+    registry, which is value-preserving.
+    """
+    if not enabled:
+        return None
+    reg = get_registry()
+    snap = reg.snapshot()
+    reg.reset()
+    return snap
+
+
+def merge_delta(delta: Mapping[str, Any] | None) -> None:
+    """Fold a worker delta (or None, a no-op) into the process registry."""
+    if delta is not None:
+        get_registry().merge(delta)
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+class Span:
+    """A monotonic-clock wall-time interval, context-manager style.
+
+    ``elapsed`` (seconds) is valid after exit whether or not the span
+    was recorded, so callers may use a span purely as a stopwatch (see
+    :func:`timed_span`).
+    """
+
+    __slots__ = ("name", "tags", "elapsed", "_start", "_record")
+
+    def __init__(
+        self, name: str, tags: Mapping[str, Any] | None = None, record: bool = True
+    ):
+        self.name = name
+        self.tags = dict(tags or {})
+        self.elapsed: float = 0.0
+        self._start = 0
+        self._record = record
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        dur = time.perf_counter_ns() - self._start
+        self.elapsed = dur * 1e-9
+        if self._record:
+            get_registry().record_span(self.name, self.tags, self._start, dur)
+
+
+class _NoopSpan:
+    """The shared disabled-path span: no clock reads, no allocation."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **tags: Any) -> Span | _NoopSpan:
+    """A recorded span when enabled, the shared no-op otherwise."""
+    if not enabled:
+        return NOOP_SPAN
+    return Span(name, tags)
+
+
+def timed_span(name: str, **tags: Any) -> Span:
+    """A span that always measures ``elapsed`` but records only when
+    enabled — for call sites whose own logic consumes the duration
+    (e.g. ``ExperimentResult.elapsed``)."""
+    return Span(name, tags, record=enabled)
+
+
+def traced(name: str | None = None, **tags: Any) -> Callable:
+    """Decorator form of :func:`span`; the disabled path is one flag
+    check and a direct call."""
+
+    def deco(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not enabled:
+                return fn(*args, **kwargs)
+            with Span(label, tags):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco

@@ -185,7 +185,7 @@ class MultiObjectSystem:
         for spec in self.specs:
             model = CostModel(lam=spec.lam, n=self.n)
             policy = spec.policy_factory(spec.trace, model)
-            result = select_engine(spec.trace, model, policy, engine).run(
+            result = select_engine(spec.trace, model, policy, engine).run_observed(
                 spec.trace, model, policy
             )
             opt = optimal_cost(spec.trace, model) if compute_optimal else 0.0

@@ -34,7 +34,11 @@ from typing import IO, Iterable
 import numpy as np
 
 from ..core.trace import Trace, TraceError
+from ..obs import metrics as _obs
+from ..obs.logging import get_logger, kv
 from ..workloads.synthetic import dedupe_times, zipf_server_probabilities
+
+_log = get_logger("system.trace_io")
 
 __all__ = [
     "TRACE_FORMATS",
@@ -90,14 +94,15 @@ def save_trace(trace: Trace, path: str | Path, fmt: str | None = None) -> None:
     suffix-less path still writes the binary format to exactly ``path``.
     """
     fmt = fmt or detect_trace_format(path)
-    if fmt in ("csv", "csv.gz"):
-        save_trace_csv(trace, path, gz=fmt.endswith(".gz"))
-    elif fmt in ("jsonl", "jsonl.gz"):
-        save_trace_jsonl(trace, path, gz=fmt.endswith(".gz"))
-    elif fmt == "npz":
-        save_trace_npz(trace, path)
-    else:
-        raise TraceError(f"unknown trace format {fmt!r}")
+    with _obs.span("trace_io.save", fmt=fmt) if _obs.enabled else _obs.NOOP_SPAN:
+        if fmt in ("csv", "csv.gz"):
+            save_trace_csv(trace, path, gz=fmt.endswith(".gz"))
+        elif fmt in ("jsonl", "jsonl.gz"):
+            save_trace_jsonl(trace, path, gz=fmt.endswith(".gz"))
+        elif fmt == "npz":
+            save_trace_npz(trace, path)
+        else:
+            raise TraceError(f"unknown trace format {fmt!r}")
 
 
 def load_trace(
@@ -109,13 +114,14 @@ def load_trace(
     parse row by row).  An explicit ``fmt`` wins over the path suffix.
     """
     fmt = fmt or detect_trace_format(path)
-    if fmt in ("csv", "csv.gz"):
-        return load_trace_csv(path, gz=fmt.endswith(".gz"))
-    if fmt in ("jsonl", "jsonl.gz"):
-        return load_trace_jsonl(path, gz=fmt.endswith(".gz"))
-    if fmt == "npz":
-        return load_trace_npz(path, mmap=mmap)
-    raise TraceError(f"unknown trace format {fmt!r}")
+    with _obs.span("trace_io.load", fmt=fmt) if _obs.enabled else _obs.NOOP_SPAN:
+        if fmt in ("csv", "csv.gz"):
+            return load_trace_csv(path, gz=fmt.endswith(".gz"))
+        if fmt in ("jsonl", "jsonl.gz"):
+            return load_trace_jsonl(path, gz=fmt.endswith(".gz"))
+        if fmt == "npz":
+            return load_trace_npz(path, mmap=mmap)
+        raise TraceError(f"unknown trace format {fmt!r}")
 
 
 # ----------------------------------------------------------------------
@@ -227,13 +233,23 @@ def save_trace_npz(trace: Trace, path: str | Path) -> None:
     path = Path(path)
     # write through a file object: np.savez given a *filename* appends
     # '.npz' when the suffix is missing, which would break fmt overrides
-    with path.open("wb") as fh:
-        np.savez(
-            fh,
-            times=np.asarray(trace.times, dtype=np.float64),
-            servers=np.asarray(trace.servers, dtype=np.int64),
-            n=np.int64(trace.n),
+    with _obs.span("trace_io.save_npz", m=len(trace)) if _obs.enabled \
+            else _obs.NOOP_SPAN:
+        with path.open("wb") as fh:
+            np.savez(
+                fh,
+                times=np.asarray(trace.times, dtype=np.float64),
+                servers=np.asarray(trace.servers, dtype=np.int64),
+                n=np.int64(trace.n),
+            )
+    if _obs.enabled:
+        _obs.counter("repro_trace_io_files_total", op="save", fmt="npz").inc()
+        _obs.counter("repro_trace_io_bytes_total", op="save").inc(
+            path.stat().st_size
         )
+    _log.debug(
+        "trace saved", **kv(fmt="npz", m=len(trace), path=str(path))
+    )
 
 
 def _npz_column_mmaps(path: Path) -> dict[str, np.ndarray] | None:
@@ -296,6 +312,25 @@ def load_trace_npz(
     for trusted files (it would fault in every page).
     """
     path = Path(path)
+    if _obs.enabled:
+        _obs.counter(
+            "repro_trace_io_files_total", op="load", fmt="npz", mmap=bool(mmap)
+        ).inc()
+        _obs.counter("repro_trace_io_bytes_total", op="load").inc(
+            path.stat().st_size
+        )
+        sp = _obs.span("trace_io.load_npz", mmap=bool(mmap))
+    else:
+        sp = _obs.NOOP_SPAN
+    with sp:
+        trace = _load_trace_npz(path, mmap, validate)
+    _log.debug(
+        "trace loaded", **kv(fmt="npz", m=len(trace), mmap=bool(mmap))
+    )
+    return trace
+
+
+def _load_trace_npz(path: Path, mmap: bool, validate: bool) -> Trace:
     if mmap:
         members = _npz_column_mmaps(path)
         if members is not None:
