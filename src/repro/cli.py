@@ -16,6 +16,12 @@ Subcommands
 ``experiments``
     The scenario registry: ``list`` the registered experiment
     configurations or ``run`` one in parallel with result caching.
+``fleet``
+    Multi-object fleets: ``run`` simulates every object of a fleet —
+    built from a combined ``time,server,object`` access log or from a
+    registered scenario's workload templates — with cross-object slab
+    dispatch, sharded workers, and streaming aggregates (totals, worst
+    objects, ratio quantiles) that scale to millions of objects.
 ``trace``
     Trace file utilities: ``info`` prints the detected format and
     summary statistics; ``convert`` rewrites a trace between the
@@ -183,6 +189,53 @@ def build_parser() -> argparse.ArgumentParser:
                     "= loop-free kernel replays or batched slab passes "
                     "where eligible)")
     _add_obs_flags(er)
+
+    f = sub.add_parser("fleet", help="multi-object fleets: run")
+    fsub = f.add_subparsers(dest="fleet_command", required=True)
+    fr = fsub.add_parser(
+        "run",
+        help="simulate a fleet of objects with cross-object slab "
+        "dispatch and streaming aggregates",
+    )
+    fsrc = fr.add_mutually_exclusive_group(required=True)
+    fsrc.add_argument("--access-log", default=None, metavar="PATH",
+                      help="combined access log CSV with time,server,object "
+                      "rows (header optional); split into per-object traces")
+    fsrc.add_argument("--scenario", default=None, metavar="NAME",
+                      help="registered scenario whose workload seeds the "
+                      "fleet's trace templates; see 'experiments list'")
+    fr.add_argument("--n", type=int, default=None,
+                    help="server count (required with --access-log)")
+    fr.add_argument("--objects", type=int, default=1000,
+                    help="fleet size with --scenario (default 1000)")
+    fr.add_argument("--templates", type=int, default=8,
+                    help="distinct trace templates with --scenario; objects "
+                    "cycle over them, so objects sharing a template "
+                    "evaluate as one cross-object slab (default 8)")
+    fr.add_argument("--lambda", dest="lam", type=float, default=100.0,
+                    help="transfer cost for every object (default 100)")
+    fr.add_argument("--alpha", type=float, default=0.5,
+                    help="Algorithm 1 trust parameter (default 0.5)")
+    fr.add_argument("--accuracy", type=float, default=1.0,
+                    help="predictor accuracy; 1.0 = oracle (default 1.0)")
+    fr.add_argument("--seed", type=int, default=0,
+                    help="base seed for templates and noisy predictors")
+    fr.add_argument("--engine", choices=ENGINE_NAMES, default="auto",
+                    help="simulation engine (default auto = cost-only "
+                    "kernel/batch slabs where eligible)")
+    fr.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: CPU count; 1 = serial)")
+    fr.add_argument("--top-k", type=int, default=16,
+                    help="worst objects kept in the offenders table "
+                    "(default 16)")
+    fr.add_argument("--stream", action="store_true",
+                    help="streaming aggregates only: never materialize "
+                    "per-object outcomes (for very large fleets)")
+    fr.add_argument("--no-optimal", action="store_true",
+                    help="skip the offline optima (online costs only)")
+    fr.add_argument("--quiet", action="store_true",
+                    help="suppress incremental progress output")
+    _add_obs_flags(fr)
 
     tr = sub.add_parser("trace", help="trace files: info / convert")
     tsub = tr.add_subparsers(dest="trace_command", required=True)
@@ -388,6 +441,116 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_fleet_log(path: str) -> list[tuple[float, int, str]]:
+    """Parse a combined access log CSV into ``(time, server, object)``
+    rows.  A non-numeric first field (a header) is skipped."""
+    import csv
+
+    rows: list[tuple[float, int, str]] = []
+    with open(path, newline="", encoding="utf-8") as fh:
+        for rec in csv.reader(fh):
+            if len(rec) < 3:
+                continue
+            try:
+                t = float(rec[0])
+            except ValueError:
+                continue
+            rows.append((t, int(rec[1]), rec[2].strip()))
+    return rows
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import time
+
+    from .analysis.sweep import algorithm1_factory
+    from .core.trace import TraceError
+    from .experiments import (
+        ConsoleProgress,
+        ExperimentRunner,
+        NullProgress,
+        get_scenario,
+    )
+    from .system.multi_object import (
+        MultiObjectSystem,
+        ObjectSpec,
+        split_trace_by_object,
+    )
+
+    lam, alpha, accuracy, seed = args.lam, args.alpha, args.accuracy, args.seed
+
+    def policy_factory(trace, model):
+        return algorithm1_factory(trace, model.lam, alpha, accuracy, seed)
+
+    specs = []
+    if args.access_log:
+        if args.n is None:
+            print("--n is required with --access-log", file=sys.stderr)
+            return 2
+        try:
+            rows = _read_fleet_log(args.access_log)
+            traces = split_trace_by_object(rows, args.n)
+        except (TraceError, OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not traces:
+            print(f"no usable rows in {args.access_log}", file=sys.stderr)
+            return 2
+        n = args.n
+        for obj, tr in sorted(traces.items()):
+            specs.append(ObjectSpec(obj, tr, lam, policy_factory))
+    else:
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        templates = [
+            scenario.build_trace(lam, alpha, accuracy, seed + t)
+            for t in range(max(1, args.templates))
+        ]
+        n = templates[0].n
+        width = len(str(max(0, args.objects - 1)))
+        for i in range(args.objects):
+            specs.append(
+                ObjectSpec(
+                    f"obj-{i:0{width}d}",
+                    templates[i % len(templates)],
+                    lam,
+                    policy_factory,
+                )
+            )
+    system = MultiObjectSystem(n, specs)
+    runner = ExperimentRunner(
+        workers=args.workers,
+        progress=NullProgress() if args.quiet else ConsoleProgress(),
+    )
+    t0 = time.perf_counter()
+    report = runner.run_fleet(
+        system,
+        compute_optimal=not args.no_optimal,
+        engine=args.engine,
+        materialize=not args.stream,
+        top_k=args.top_k,
+    )
+    elapsed = time.perf_counter() - t0
+    print(report.summary_table(top_k=args.top_k))
+    rate = len(specs) / elapsed if elapsed > 0 else float("inf")
+    line = (
+        f"\n{len(specs)} objects, n={n}, engine={args.engine} "
+        f"in {elapsed:.2f}s ({rate:,.0f} objects/s)"
+    )
+    if not args.no_optimal:
+        line += (
+            f"\nfleet ratio {report.fleet_ratio:.4f}, worst object "
+            f"{report.worst_object_ratio:.4f}, ratio p50/p90/p99 "
+            f"{report.ratio_quantile(0.5):.3f}/"
+            f"{report.ratio_quantile(0.9):.3f}/"
+            f"{report.ratio_quantile(0.99):.3f}"
+        )
+    print(line)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .core.trace import TraceError
     from .system.trace_io import detect_trace_format, load_trace, save_trace
@@ -560,6 +723,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "wang": _cmd_wang,
         "adversary": _cmd_adversary,
         "experiments": _cmd_experiments,
+        "fleet": _cmd_fleet,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
         "obs": _cmd_obs,

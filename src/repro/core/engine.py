@@ -216,6 +216,7 @@ __all__ = [
     "get_engine",
     "select_engine",
     "run_slab",
+    "run_policy_slab",
 ]
 
 
@@ -1773,6 +1774,160 @@ def _run_plan_observed(tier: str, trace: Trace, model: CostModel, plan) -> list:
         out = eng._run_plan(trace, model, plan)
     _obs.counter("repro_engine_cells_total", tier=tier).inc(n_cells)
     return out
+
+
+def run_policy_slab(
+    trace: Trace,
+    cells: Sequence[tuple[CostModel, ReplicationPolicy]],
+    engine: str | Engine = "auto",
+) -> list:
+    """Evaluate pre-built ``(model, policy)`` cells sharing one trace.
+
+    The fleet-facing sibling of :func:`run_slab`: a cross-object slab
+    carries one *policy instance per object* and heterogeneous cost
+    models — distinct per-object lambdas are allowed (every model must
+    agree with ``trace.n``).  Slab-capable engines share the per-trace
+    work across eligible cells:
+
+    * the **kernel** tier builds one :class:`_SegmentChains` for the
+      whole slab — per-duration shift columns are memoised on the
+      chains, so cells with different lambdas still share the segment
+      scan — and one cell-major prediction matrix with per-lambda truth
+      and per-seed draw memos (:meth:`PredictionStream.batch_for_cells`);
+    * the **batch** tier groups cells by *equal* cost model and runs
+      each group as one vectorized trace pass (Wang groups share one
+      scalar replay, exactly as :func:`run_slab` does).
+
+    Cells no slab tier can take fall back through :func:`select_engine`
+    one at a time, so a concrete engine name stays strict (it raises on
+    policies it cannot execute) while ``"auto"`` always completes.
+    Per-cell costs are bit-identical to ``select_engine(trace, model,
+    policy, engine).run_observed(trace, model, policy)`` on every path.
+    """
+    from ..algorithms.conventional import ConventionalReplication
+    from ..algorithms.wang import WangReplication
+    from ..predictions.oracle import FixedPredictor
+    from ..predictions.stream import PredictionStream
+
+    cells = list(cells)
+    if not cells:
+        return []
+    for model, _ in cells:
+        if model.n != trace.n:
+            raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
+    results: list = [None] * len(cells)
+    wants_slab = engine in ("auto", "batch", "kernel") or isinstance(
+        engine, (BatchCostEngine, KernelCostEngine)
+    )
+    wants_kernel = engine == "kernel" or isinstance(engine, KernelCostEngine)
+    if wants_slab and len(cells) > 1:
+        kernel = _ENGINES["kernel"]
+        # Algorithm-1 cells a slab tier can take: kernel eligibility is
+        # exactly the batch tier's per-cell predicate minus Wang
+        alg1 = [
+            i
+            for i, (model, policy) in enumerate(cells)
+            if kernel.supports(trace, model, policy)
+        ]
+        use_kernel = wants_kernel or (
+            engine == "auto" and len(trace) >= KERNEL_SLAB_MIN_M
+        )
+        if use_kernel and len(alg1) > 1:
+            rows = PredictionStream.batch_for_cells(
+                [
+                    (
+                        FixedPredictor(False)
+                        if type(cells[i][1]) is ConventionalReplication
+                        else cells[i][1].predictor,
+                        cells[i][0].lam,
+                    )
+                    for i in alg1
+                ],
+                trace,
+            )
+            assert rows is not None  # supports() vetted streamability
+
+            def _kernel_slab() -> None:
+                chains = _SegmentChains(trace)
+                for k, i in enumerate(alg1):
+                    model, policy = cells[i]
+                    storage, transfer, n_tx = _kernel_algorithm1(
+                        chains,
+                        model.storage_rates[0],
+                        model.lam,
+                        policy.alpha,
+                        rows[k],
+                        True,
+                        None,
+                    )
+                    results[i] = CostResult(
+                        trace=trace,
+                        model=model,
+                        policy_name=policy.name,
+                        storage_cost=storage,
+                        transfer_cost=transfer,
+                        n_transfers=n_tx,
+                        engine="kernel",
+                    )
+
+            if _obs.enabled:
+                with _obs.span(
+                    "engine.slab", tier="kernel", cells=len(alg1), m=len(trace)
+                ):
+                    _kernel_slab()
+                _obs.counter("repro_engine_cells_total", tier="kernel").inc(
+                    len(alg1)
+                )
+            else:
+                _kernel_slab()
+        elif not wants_kernel:
+            # batch tier: one vectorized pass per equal-model group
+            by_model: dict[CostModel, list[int]] = {}
+            for i in alg1:
+                by_model.setdefault(cells[i][0], []).append(i)
+            for model, idxs in by_model.items():
+                if len(idxs) < 2:
+                    continue
+                policies = [cells[i][1] for i in idxs]
+                preds = [
+                    FixedPredictor(False)
+                    if type(p) is ConventionalReplication
+                    else p.predictor
+                    for p in policies
+                ]
+                runs = _run_plan_observed(
+                    "batch", trace, model, (policies, preds)
+                )
+                for i, r in zip(idxs, runs):
+                    results[i] = r
+        if not wants_kernel:
+            # Wang cells ride the batch tier's shared scalar replay (it
+            # is prediction- and alpha-free, so one replay per model
+            # serves the group); explicit "kernel" stays strict and
+            # leaves them to the per-cell loop below, which raises
+            by_model = {}
+            for i, (model, policy) in enumerate(cells):
+                if (
+                    results[i] is None
+                    and type(policy) is WangReplication
+                    and _wang_rates_ok(model)
+                ):
+                    by_model.setdefault(model, []).append(i)
+            for model, idxs in by_model.items():
+                if len(idxs) < 2:
+                    continue
+                runs = _run_plan_observed(
+                    "batch", trace, model, ([cells[i][1] for i in idxs], [])
+                )
+                for i, r in zip(idxs, runs):
+                    results[i] = r
+    # per-cell fallback: "auto" keeps auto-selecting; a concrete engine
+    # stays strict, exactly as run_slab's fallback does
+    for i, (model, policy) in enumerate(cells):
+        if results[i] is None:
+            eng = select_engine(trace, model, policy, engine)
+            results[i] = eng.run_observed(trace, model, policy)
+    return results
 
 
 # ----------------------------------------------------------------------

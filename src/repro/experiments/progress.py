@@ -26,8 +26,14 @@ __all__ = [
 class ProgressReporter:
     """Minimal progress surface: ``start``, ``update``, ``finish``."""
 
-    def start(self, total: int, cached: int = 0, label: str = "") -> None:
-        """Begin a run of ``total`` jobs, ``cached`` of them pre-resolved."""
+    def start(
+        self, total: int, cached: int = 0, label: str = "", unit: str = "cells"
+    ) -> None:
+        """Begin a run of ``total`` jobs, ``cached`` of them pre-resolved.
+
+        ``unit`` names what is being counted in rate lines (grid runs
+        count "cells", fleet runs count "objects").
+        """
 
     def update(self, n: int = 1) -> None:
         """Record ``n`` newly executed jobs."""
@@ -67,6 +73,7 @@ class ConsoleProgress(ProgressReporter):
         self._last_print = 0.0
         self._exec_counter = None
         self._exec_base = 0.0
+        self._unit = "cells"
 
     def _emit(self, text: str) -> None:
         print(text, file=self.stream, flush=True)
@@ -79,9 +86,12 @@ class ConsoleProgress(ProgressReporter):
             return local
         return max(local, int(self._exec_counter.value - self._exec_base))
 
-    def start(self, total: int, cached: int = 0, label: str = "") -> None:
+    def start(
+        self, total: int, cached: int = 0, label: str = "", unit: str = "cells"
+    ) -> None:
         self._total, self._cached, self._done = total, cached, cached
         self._label = label or "experiment"
+        self._unit = unit
         self._t0 = self._last_print = time.monotonic()
         if _obs.enabled:
             self._exec_counter = _obs.counter(
@@ -109,7 +119,7 @@ class ConsoleProgress(ProgressReporter):
         if executed > 0 and elapsed > 0:
             rate = executed / elapsed
             remaining = self._total - done
-            line += f" ({rate:.1f} cells/s, eta {remaining / rate:.0f}s)"
+            line += f" ({rate:.1f} {self._unit}/s, eta {remaining / rate:.0f}s)"
         self._emit(line)
 
     def finish(self) -> None:
@@ -118,7 +128,7 @@ class ConsoleProgress(ProgressReporter):
         rate = executed / elapsed if elapsed > 0 else float("inf")
         self._emit(
             f"[{self._label}] finished: {executed} executed, "
-            f"{self._cached} cached in {elapsed:.1f}s ({rate:.1f} cells/s)"
+            f"{self._cached} cached in {elapsed:.1f}s ({rate:.1f} {self._unit}/s)"
         )
 
 

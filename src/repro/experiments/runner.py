@@ -44,7 +44,12 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..analysis.sweep import SweepPoint, SweepResult, algorithm1_factory
 from ..core.costs import CostModel
-from ..core.engine import Engine, run_slab, select_engine
+from ..core.engine import (
+    CostResult,
+    Engine,
+    run_policy_slab,
+    run_slab,
+)
 from ..core.trace import Trace
 from ..obs import metrics as _obs
 from ..obs.logging import get_logger, kv
@@ -275,26 +280,68 @@ def _slab_chunk_task(
     return _chunk_observed("sim", len(cells), compute)
 
 
-def _fleet_chunk_task(indices: Sequence[int]):
-    def compute() -> list[tuple[int, Any, float]]:
-        ctx = _ctx()
-        specs = ctx["specs"]
-        n: int = ctx["n"]
-        compute_optimal: bool = ctx["compute_optimal"]
-        engine = ctx.get("engine", "reference")
-        out = []
-        for i in indices:
-            spec = specs[i]
-            model = CostModel(lam=spec.lam, n=n)
-            policy = spec.policy_factory(spec.trace, model)
-            result = select_engine(spec.trace, model, policy, engine).run_observed(
-                spec.trace, model, policy
-            )
-            opt = optimal_cost(spec.trace, model) if compute_optimal else 0.0
-            out.append((i, result, opt))
-        return out
+def _fleet_chunk_task(chunk: Sequence[tuple]):
+    """Evaluate one fleet chunk: a tuple of cross-object sub-slabs.
 
-    return _chunk_observed("fleet", len(indices), compute)
+    Each sub-slab is ``(trace_key, lam, spec_indices, factory_indices)``
+    — the objects of one ``(trace digest, lambda)`` group assigned to
+    this chunk.  The worker resolves the shared trace once (fork-
+    inherited object or digest-addressed mmap), builds every object's
+    policy from the fork-inherited factory table, and evaluates the
+    whole sub-slab through :func:`~repro.core.engine.run_policy_slab`
+    (kernel/batch slab where eligible, per-cell fallback otherwise).
+
+    Returned rows are ``(spec_index, row)`` where ``row`` is the bare
+    online cost in streaming mode, or a compact
+    ``("cost", name, engine, storage, transfer, n_tx)`` tuple /
+    ``("full", SimulationResult)`` payload when the parent materializes
+    outcomes — compact rows keep a million-object run's IPC free of
+    per-object trace pickling (the parent rebuilds each
+    :class:`~repro.core.engine.CostResult` against its own trace
+    reference, bitwise-identical totals).
+    """
+    n_objects = sum(len(idxs) for _, _, idxs, _ in chunk)
+
+    def compute() -> list[tuple[int, Any]]:
+        ctx = _ctx()
+        n: int = ctx["n"]
+        engine = ctx.get("engine", "reference")
+        factories = ctx["factories"]
+        ship_results: bool = ctx["fleet_ship_results"]
+        rows: list[tuple[int, Any]] = []
+        for trace_key, lam, idxs, fidxs in chunk:
+            trace = _resolve_trace(trace_key)
+            model = CostModel(lam=lam, n=n)
+            cells = [(model, factories[f](trace, model)) for f in fidxs]
+            if _obs.enabled:
+                with _obs.span(
+                    "fleet.chunk", objects=len(idxs), m=len(trace), lam=lam
+                ):
+                    runs = run_policy_slab(trace, cells, engine)
+            else:
+                runs = run_policy_slab(trace, cells, engine)
+            for i, result in zip(idxs, runs):
+                if not ship_results:
+                    rows.append((i, result.total_cost))
+                elif type(result) is CostResult:
+                    rows.append(
+                        (
+                            i,
+                            (
+                                "cost",
+                                result.policy_name,
+                                result.engine,
+                                result.storage_cost,
+                                result.transfer_cost,
+                                result.n_transfers,
+                            ),
+                        )
+                    )
+                else:
+                    rows.append((i, ("full", result)))
+        return rows
+
+    return _chunk_observed("fleet", n_objects, compute)
 
 
 def _fork_context():
@@ -357,20 +404,49 @@ class _Executor:
             result for _, result in self.run_tagged([(None, fn, c) for c in chunks])
         )
 
-    def run_tagged(self, tasks: Sequence[tuple[Any, Any, Any]]):
+    def run_tagged(
+        self,
+        tasks,
+        window: int | None = None,
+    ):
         """Yield ``(tag, fn(arg))`` for heterogeneous tasks as they
-        complete — all tasks enter the pool together, so cheap and
-        expensive kinds never serialise behind each other."""
+        complete.
+
+        ``tasks`` is any iterable of ``(tag, fn, arg)`` triples.  With
+        ``window=None`` every task enters the pool together, so cheap
+        and expensive kinds never serialise behind each other.  A finite
+        ``window`` keeps at most that many tasks in flight and refills
+        from the iterable as futures complete — the shared-queue half of
+        work-stealing dispatch: a worker that drains its small chunks
+        immediately pulls the next one while a straggler is still busy,
+        and the parent never holds more than ``window`` futures for an
+        arbitrarily long task stream.
+        """
         if self._pool is None:
             for tag, fn, arg in tasks:
                 yield tag, fn(arg)
             return
-        tags = {self._pool.submit(fn, arg): tag for tag, fn, arg in tasks}
-        pending = set(tags)
+        it = iter(tasks)
+        limit = float("inf") if window is None else max(1, window)
+        tags: dict[Any, Any] = {}
+        pending: set = set()
+
+        def refill() -> None:
+            while len(pending) < limit:
+                nxt = next(it, None)
+                if nxt is None:
+                    return
+                tag, fn, arg = nxt
+                fut = self._pool.submit(fn, arg)
+                tags[fut] = tag
+                pending.add(fut)
+
+        refill()
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for fut in done:
-                yield tags[fut], fut.result()
+                yield tags.pop(fut), fut.result()
+            refill()
 
 
 class ExperimentRunner:
@@ -486,11 +562,29 @@ class ExperimentRunner:
         system,
         compute_optimal: bool = True,
         engine: str | Engine | None = None,
+        materialize: bool = True,
+        top_k: int = 16,
     ):
         """Parallel equivalent of ``MultiObjectSystem.run``.
 
         Object results are not cached (policy factories of ad-hoc specs
-        have no stable identity); parallelism and progress only.
+        have no stable identity); parallelism and progress only.  The
+        dispatch is built for fleet scale:
+
+        * objects are grouped by ``(trace digest, lambda)`` and each
+          group evaluates as one cross-object engine slab in the worker
+          (:func:`~repro.core.engine.run_policy_slab`);
+        * workers receive only their own chunk's spec indices — the
+          distinct traces travel once through the fork-inherited context
+          or the content-addressed mmap spool, never per object;
+        * chunks are sized by total trace length and pulled from a
+          shared refill queue (``run_tagged(window=...)``), so one giant
+          object among thousands of tiny ones does not straggle;
+        * each group's offline optimum is computed once and shared.
+
+        Outcomes fold through an index-ordered reorder buffer, keeping
+        every mode bit-identical to the serial per-object loop (see the
+        DESIGN docstring in :mod:`repro.system.multi_object`).
 
         ``engine`` threads through to every per-object simulation.
         ``None`` (the default) inherits the engine this runner was
@@ -500,36 +594,158 @@ class ExperimentRunner:
         explicit cost-only choice — ``ExperimentRunner(engine="fast")``,
         or ``engine="auto"``/``"fast"``/``"batch"`` passed directly —
         trades that telemetry away.
+
+        ``materialize=False`` streams outcomes through the report's
+        :class:`~repro.system.multi_object.FleetStats` accumulator
+        (totals, worst object, ratio sketch, ``top_k`` offenders) and
+        ships only online costs back from workers, so million-object
+        runs hold O(top_k) state end to end.
         """
-        from ..system.multi_object import FleetReport, ObjectOutcome
+        from ..system.multi_object import FleetReport
 
         if engine is None:
             engine = "reference" if self.engine == "auto" else self.engine
         specs = list(system.specs)
-        report = FleetReport()
+        report = FleetReport(materialize=materialize, top_k=top_k)
         if not specs:
             return report
+        n: int = system.n
+
+        # distinct traces: dedupe by object identity first (cheap), then
+        # by content digest — the digest is the trace's worker-side name
+        digest_by_id: dict[int, str] = {}
+        traces: dict[str, Trace] = {}
+        spec_digest: list[str] = []
+        for spec in specs:
+            d = digest_by_id.get(id(spec.trace))
+            if d is None:
+                d = trace_digest(spec.trace)
+                digest_by_id[id(spec.trace)] = d
+                traces.setdefault(d, spec.trace)
+            spec_digest.append(d)
+
+        # distinct policy factories, fork-inherited; chunks carry indices
+        findex: dict[int, int] = {}
+        factories: list[Any] = []
+        spec_f: list[int] = []
+        for spec in specs:
+            k = id(spec.policy_factory)
+            if k not in findex:
+                findex[k] = len(factories)
+                factories.append(spec.policy_factory)
+            spec_f.append(findex[k])
+
+        # (digest, lambda) slab groups, spec order within each group
+        groups: dict[tuple[str, float], list[int]] = {}
+        for i, spec in enumerate(specs):
+            groups.setdefault((spec_digest[i], spec.lam), []).append(i)
+        group_items = [(d, lam, idxs) for (d, lam), idxs in groups.items()]
+
+        inherit, trace_files, spool_cleanup = self._spool_traces(
+            traces, {d: d for d in traces}
+        )
         context = {
-            "specs": specs,
-            "n": system.n,
-            "compute_optimal": bool(compute_optimal),
+            "traces": inherit,
+            "trace_files": trace_files,
+            "n": n,
             "engine": engine,
+            "factories": factories,
+            "fleet_ship_results": bool(materialize),
         }
-        chunks = _chunked(list(range(len(specs))), self._chunk_size(len(specs)))
-        self.progress.start(len(specs), label="fleet")
-        outcomes: dict[int, ObjectOutcome] = {}
-        with _Executor(self.workers, context) as ex:
-            for batch, delta in ex.run(_fleet_chunk_task, chunks):
-                _obs.merge_delta(delta)
-                if _obs.enabled:
-                    _obs.counter(
-                        "repro_runner_jobs_total", source="executed"
-                    ).inc(len(batch))
-                for i, result, opt in batch:
-                    outcomes[i] = ObjectOutcome(specs[i].object_id, result, opt)
-                    self.progress.update()
+        chunks = self._fleet_chunks(group_items, specs, spec_f)
+        opt_tasks = (
+            [("opt", _opt_task, (d, lam)) for d, lam, _ in group_items]
+            if compute_optimal
+            else []
+        )
+        tasks = itertools.chain(
+            opt_tasks, (("sim", _fleet_chunk_task, c) for c in chunks)
+        )
+        self.progress.start(len(specs), label="fleet", unit="objects")
+        opts: dict[tuple[str, float], float] = {}
+        pending_rows: dict[int, Any] = {}
+        spec_key = [(spec_digest[i], specs[i].lam) for i in range(len(specs))]
+        next_i = 0
+
+        def drain() -> None:
+            # reorder buffer: outcomes enter the report in spec-index
+            # order (and only once their group's optimum is known), so
+            # streaming totals repeat the serial sum's float additions
+            nonlocal next_i
+            while next_i < len(specs):
+                if next_i not in pending_rows:
+                    return
+                key = spec_key[next_i]
+                if compute_optimal and key not in opts:
+                    return
+                row = pending_rows.pop(next_i)
+                spec = specs[next_i]
+                if materialize:
+                    if row[0] == "full":
+                        result = row[1]
+                    else:
+                        _, name, eng_name, storage, transfer, n_tx = row
+                        result = CostResult(
+                            trace=spec.trace,
+                            model=CostModel(lam=spec.lam, n=n),
+                            policy_name=name,
+                            storage_cost=storage,
+                            transfer_cost=transfer,
+                            n_transfers=n_tx,
+                            engine=eng_name,
+                        )
+                    online = result.total_cost
+                else:
+                    result = None
+                    online = row
+                report.add(
+                    spec.object_id,
+                    online,
+                    opts.get(key, 0.0),
+                    len(spec.trace),
+                    result=result,
+                )
+                next_i += 1
+                self.progress.update()
+
+        window = self.workers * 4 if self.workers > 1 else None
+        with _obs.timed_span("runner.fleet", objects=len(specs)) as sp:
+            try:
+                with _Executor(self.workers, context) as ex:
+                    for tag, (result, delta) in ex.run_tagged(
+                        tasks, window=window
+                    ):
+                        _obs.merge_delta(delta)
+                        if tag == "opt":
+                            tk, lam, opt = result
+                            opts[(tk, lam)] = opt
+                        else:
+                            if _obs.enabled:
+                                _obs.counter(
+                                    "repro_runner_jobs_total",
+                                    source="executed",
+                                ).inc(len(result))
+                            for i, row in result:
+                                pending_rows[i] = row
+                        drain()
+            finally:
+                spool_cleanup()
         self.progress.finish()
-        report.outcomes.extend(outcomes[i] for i in range(len(specs)))
+        if _obs.enabled and sp.elapsed > 0:
+            _obs.gauge("repro_fleet_objects_per_second").set(
+                len(specs) / sp.elapsed
+            )
+        _log.info(
+            "fleet finished",
+            **kv(
+                objects=len(specs),
+                groups=len(group_items),
+                chunks=len(chunks),
+                workers=self.workers,
+                materialize=bool(materialize),
+                elapsed_s=round(sp.elapsed, 3),
+            ),
+        )
         return report
 
     # ------------------------------------------------------------------
@@ -600,6 +816,82 @@ class ExperimentRunner:
             return 1
         # ~4 chunks per worker balances load against dispatch overhead
         return max(1, min(64, -(-n_tasks // (self.workers * 4))))
+
+    #: ceiling on objects per fleet chunk, bounding worker row lists
+    FLEET_CHUNK_MAX_OBJECTS = 16_384
+    #: per-object fixed work (policy build, row assembly) in
+    #: request-equivalents, so tiny-trace fleets still get finite chunks
+    FLEET_OBJECT_OVERHEAD = 64
+
+    def _fleet_chunks(
+        self,
+        group_items: Sequence[tuple[str, float, Sequence[int]]],
+        specs: Sequence[Any],
+        spec_f: Sequence[int],
+    ) -> list[tuple]:
+        """Pack ``(digest, lambda)`` groups into dispatch chunks by work.
+
+        Chunk cost is total trace length plus a per-object overhead, not
+        object count, so a skewed fleet (one million-request object among
+        thousands of tiny ones) splits into comparable work parcels: the
+        giant object lands in its own chunk while the tiny objects pack
+        densely.  Groups larger than one budget split across chunks;
+        groups smaller than it share chunks (each contributing a
+        sub-slab).  The packing is a pure function of spec order, trace
+        lengths, and the worker/chunk-size configuration — deterministic
+        run to run.  An explicit ``chunk_size`` reverts to object-count
+        parcels of that size.
+        """
+        def cost(i: int) -> int:
+            return len(specs[i].trace) + self.FLEET_OBJECT_OVERHEAD
+
+        if self.chunk_size is not None:
+            budget = None
+            max_objs = max(1, self.chunk_size)
+        else:
+            total = sum(
+                cost(i) for _, _, idxs in group_items for i in idxs
+            )
+            # ~4 chunks per worker: enough granularity for the refill
+            # queue to rebalance, few enough to amortise dispatch
+            budget = max(1, -(-total // (self.workers * 4)))
+            max_objs = self.FLEET_CHUNK_MAX_OBJECTS
+        chunks: list[tuple] = []
+        cur: list[tuple] = []
+        cur_cost = 0
+        cur_objs = 0
+
+        def close() -> None:
+            nonlocal cur, cur_cost, cur_objs
+            if cur:
+                chunks.append(tuple(cur))
+                cur, cur_cost, cur_objs = [], 0, 0
+
+        for digest, lam, idxs in group_items:
+            pos = 0
+            while pos < len(idxs):
+                take: list[int] = []
+                fids: list[int] = []
+                while pos < len(idxs):
+                    c = cost(idxs[pos])
+                    full = cur_objs >= max_objs or (
+                        budget is not None and cur_cost + c > budget
+                    )
+                    # an empty chunk always accepts one object, so a
+                    # single over-budget giant still dispatches
+                    if full and (cur or take):
+                        break
+                    take.append(idxs[pos])
+                    fids.append(spec_f[idxs[pos]])
+                    cur_cost += c
+                    cur_objs += 1
+                    pos += 1
+                if take:
+                    cur.append((digest, lam, tuple(take), tuple(fids)))
+                if pos < len(idxs):
+                    close()
+        close()
+        return chunks
 
     def _slab_chunk_size(self, n_cells: int, engine: str | Engine) -> int:
         """Cells per dispatched slab chunk.

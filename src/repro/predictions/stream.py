@@ -36,6 +36,10 @@ arbitrary list of streamable predictors.  Both compute the ground truth
 once and draw each seed's PCG64 stream once, shared across every column
 using it — so column ``c`` is bit-identical to the scalar stream the
 fast engine would build for that cell.
+:meth:`PredictionStream.batch_for_cells` extends the same sharing to
+cells with *heterogeneous* lambdas (per-object transfer costs in
+cross-object fleet slabs): the ground truth is memoised per distinct
+lambda, the per-seed draws stay shared fleet-wide.
 """
 
 from __future__ import annotations
@@ -220,6 +224,46 @@ class PredictionStream:
                     draws[p.seed] = np.random.default_rng(p.seed).random(m1)
                 correct = draws[p.seed] < p.accuracy
                 rows[c] = np.where(correct, truth, ~truth)
+        return out
+
+    @classmethod
+    def batch_for_cells(cls, cells, trace: Trace) -> np.ndarray | None:
+        """One contiguous prediction row per ``(predictor, lam)`` cell,
+        or None if any predictor is not streamable on ``trace``.
+
+        The fleet-facing sibling of :meth:`batch_for_predictors`: cells
+        sharing a trace may carry *distinct* lambdas (per-object transfer
+        costs), so the ground truth is memoised per lambda and each
+        seed's PCG64 draw is still computed exactly once.  Row ``c`` is
+        bit-identical to ``for_predictor(cells[c][0], trace,
+        cells[c][1]).within`` — the scalar stream the fast engine would
+        build for that cell.  The layout is cell-major (``(n_cells,
+        m + 1)``), what the kernel engine's per-cell replays consume.
+        """
+        cells = list(cells)
+        if not all(cls.supports_predictor(p, trace) for p, _ in cells):
+            return None
+        m1 = len(trace) + 1
+        out = np.empty((len(cells), m1), dtype=bool)
+        truths: dict[float, np.ndarray] = {}
+        draws: dict[int, np.ndarray] = {}
+        for c, (p, lam) in enumerate(cells):
+            kind = type(p)
+            if kind is FixedPredictor:
+                out[c] = bool(p.within)
+                continue
+            truth = truths.get(lam)
+            if truth is None:
+                truth = truths[lam] = truth_within_array(trace, lam)
+            if kind is OraclePredictor:
+                out[c] = truth
+            elif kind is AdversarialPredictor:
+                out[c] = ~truth
+            else:  # NoisyOraclePredictor (supports_predictor vetted types)
+                if p.seed not in draws:
+                    draws[p.seed] = np.random.default_rng(p.seed).random(m1)
+                correct = draws[p.seed] < p.accuracy
+                out[c] = np.where(correct, truth, ~truth)
         return out
 
     # ------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 from .multi_object import (
     FleetReport,
+    FleetStats,
     MultiObjectSystem,
     ObjectOutcome,
     ObjectSpec,
@@ -25,6 +26,7 @@ __all__ = [
     "ObjectSpec",
     "ObjectOutcome",
     "FleetReport",
+    "FleetStats",
     "MultiObjectSystem",
     "split_trace_by_object",
     "TRACE_FORMATS",
