@@ -46,6 +46,7 @@ from .analysis import (
     sweep_grid,
 )
 from .core import (
+    BACKEND_NAMES,
     BatchCostEngine,
     CostLedger,
     CostModel,
@@ -64,6 +65,7 @@ from .core import (
     SimulationResult,
     Trace,
     TraceError,
+    get_backend,
     get_engine,
     run_slab,
     select_engine,
@@ -138,6 +140,8 @@ __all__ = [
     "get_engine",
     "run_slab",
     "select_engine",
+    "BACKEND_NAMES",
+    "get_backend",
     "PredictionStream",
     # algorithms
     "LearningAugmentedReplication",

@@ -78,6 +78,7 @@ from .analysis.sweep import (
 )
 from .analysis.theory import consistency_bound, robustness_bound
 from .core import CostModel, simulate
+from .core.backends import BACKEND_NAMES
 from .core.engine import ENGINE_NAMES
 from .offline import optimal_cost
 from .predictions import FixedPredictor, NoisyOraclePredictor, OraclePredictor
@@ -141,6 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
                    "'reference' = full-telemetry event loop, 'auto' "
                    "(default) = kernel above its measured crossover, "
                    "batch/fast below it")
+    s.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                   help="""kernel execution backend: 'threads' fans slab cells across a thread pool, 'numba' compiles the hot loops when numba is importable (numpy fallback otherwise), 'auto' (the default when the flag and REPRO_KERNEL_BACKEND are unset) picks by measured crossovers; all backends are bit-identical""")
     _add_obs_flags(s)
 
     a = sub.add_parser("adaptive", help="Figures 29-32 grid")
@@ -188,6 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="simulation engine for grid cells (default: auto "
                     "= loop-free kernel replays or batched slab passes "
                     "where eligible)")
+    er.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                    help="""kernel execution backend: 'threads' fans slab cells across a thread pool, 'numba' compiles the hot loops when numba is importable (numpy fallback otherwise), 'auto' (the default when the flag and REPRO_KERNEL_BACKEND are unset) picks by measured crossovers; all backends are bit-identical""")
     _add_obs_flags(er)
 
     f = sub.add_parser("fleet", help="multi-object fleets: run")
@@ -223,6 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
     fr.add_argument("--engine", choices=ENGINE_NAMES, default="auto",
                     help="simulation engine (default auto = cost-only "
                     "kernel/batch slabs where eligible)")
+    fr.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                    help="""kernel execution backend: 'threads' fans slab cells across a thread pool, 'numba' compiles the hot loops when numba is importable (numpy fallback otherwise), 'auto' (the default when the flag and REPRO_KERNEL_BACKEND are unset) picks by measured crossovers; all backends are bit-identical""")
     fr.add_argument("--workers", type=int, default=None,
                     help="worker processes (default: CPU count; 1 = serial)")
     fr.add_argument("--top-k", type=int, default=16,
@@ -293,6 +300,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = sweep_grid(
         trace, lams, alphas, accs, seed=args.seed,
         engine=getattr(args, "engine", "auto"),
+        backend=getattr(args, "backend", None),
     )
     for lam in lams:
         print(format_table(result, lam))
@@ -418,6 +426,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         cache=cache,
         progress=NullProgress() if args.quiet else ConsoleProgress(),
         engine=getattr(args, "engine", "auto"),
+        backend=getattr(args, "backend", None),
     )
     store = ArtifactStore(args.out) if args.out else None
     for name in args.names:
@@ -531,6 +540,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         engine=args.engine,
         materialize=not args.stream,
         top_k=args.top_k,
+        backend=getattr(args, "backend", None),
     )
     elapsed = time.perf_counter() - t0
     print(report.summary_table(top_k=args.top_k))

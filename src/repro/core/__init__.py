@@ -1,5 +1,12 @@
 """Core substrate: traces, cost model, event log, and the simulator."""
 
+from .backends import (
+    BACKEND_NAMES,
+    get_backend,
+    numba_available,
+    set_thread_budget,
+    thread_budget,
+)
 from .costs import CostLedger, CostModel
 from .engine import (
     ENGINE_NAMES,
@@ -28,6 +35,11 @@ from .trace import Request, Trace, TraceError, merge_traces
 from .validate import ValidationReport, validate_result
 
 __all__ = [
+    "BACKEND_NAMES",
+    "get_backend",
+    "numba_available",
+    "set_thread_budget",
+    "thread_budget",
     "CostLedger",
     "CostModel",
     "Engine",

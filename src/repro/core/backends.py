@@ -1,0 +1,407 @@
+"""Execution backends for the kernel cost engine.
+
+DESIGN
+======
+
+The kernel tier (``KernelCostEngine``) reduced per-cell replay to a fixed
+sequence of array passes.  A slab of grid cells is embarrassingly parallel
+*across* cells — every cell replays the same trace against an independent
+(model, policy, prediction-row) triple — but strictly serial *within* one
+cell, because the charge-order reductions are sequential by construction:
+
+``np.add.accumulate`` computes ``out[i] = out[i-1] + v[i]`` left to right,
+one IEEE-754 rounding per step.  The kernel only consumes ``out[-1]``, so
+any backend that performs the *same left-to-right chain of additions*
+(e.g. a compiled ``s += v[i]`` loop) produces the bit-identical float.
+A *parallelized* within-cell accumulate would not: pairwise or tree
+reductions (``np.add.reduce``, SIMD partial sums, parallel prefix scans)
+re-associate the additions, and float addition is not associative, so the
+final bit pattern changes.  That is why the backends below parallelize
+across cells only — each cell's serial pass is untouched, which is what
+keeps every backend bit-identical to the numpy reference:
+
+- ``numpy``   — the existing vectorized passes, serial across cells.
+- ``threads`` — the same numpy passes, cells fanned out over a
+  ``ThreadPoolExecutor``.  The heavy numpy ops release the GIL, so this
+  scales with cores without fork/IPC.  ``ThreadPoolExecutor.map``
+  preserves input order, so results come back in cell-index order and the
+  output is positionally identical to the serial run.  Shared per-trace
+  precompute (``_SegmentChains``) is read-only after construction; its
+  scratch workspace is thread-local and its shift memo is lock-guarded
+  (see ``core/engine.py``).
+- ``numba``   — optional ``@njit(nogil=True, cache=True)`` fused loops
+  for the two sequential reductions and the two-stream expiry merge.
+  The compiled loops replay the exact same IEEE op order (left-to-right
+  adds; two-pointer merge with the same tie semantics), so they are
+  bit-identical.  When numba is not importable the backend silently falls
+  back to the numpy primitives — same results, no hard dependency.
+
+Crossovers (measured, see ``benchmarks/bench_backends.py``)
+-----------------------------------------------------------
+
+Like ``KERNEL_MIN_M``/``KERNEL_SLAB_MIN_M`` in ``core/engine.py``, the
+``auto`` backend picks a concrete backend from measured crossovers:
+
+- ``THREADS_MIN_CELLS_PER_THREAD``: below ~8 cells per worker thread the
+  executor dispatch + per-thread workspace allocation eats the win, so
+  ``auto`` only fans out when the slab is wide enough to give every
+  thread a meaningful chunk.
+- ``NUMBA_MIN_M``: the compiled merge/accumulate only beats the numpy
+  fast paths once per-cell arrays dominate call overhead (and the first
+  call pays JIT compilation, amortized by ``cache=True``); below ~8k
+  requests numpy wins.
+
+Process-pool interaction
+------------------------
+
+``ExperimentRunner`` may already fork worker processes.  To keep
+``workers × threads ≤ cores`` the runner installs a shared *thread
+budget* (``set_thread_budget``) before forking; forked workers inherit
+the cap, so a 8-core box running 4 process workers gives each worker at
+most 2 kernel threads instead of 4 × 8 oversubscription.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "KernelBackend",
+    "KernelPrimitives",
+    "NUMBA_MIN_M",
+    "NUMPY_PRIMS",
+    "THREADS_MIN_CELLS_PER_THREAD",
+    "get_backend",
+    "numba_available",
+    "numba_prims",
+    "set_thread_budget",
+    "thread_budget",
+]
+
+# Environment override for the default backend (mirrors how the CLI's
+# --backend flag resolves): any name in BACKEND_NAMES.
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+# Measured crossovers (benchmarks/bench_backends.py, fig25 grid).  The
+# thread backend wins once each worker thread gets >= ~8 cells of work;
+# the compiled numba loops win once the per-cell arrays pass ~8k events.
+THREADS_MIN_CELLS_PER_THREAD = 8
+NUMBA_MIN_M = 8_192
+
+
+# ---------------------------------------------------------------------------
+# Thread budget — the runner's workers × threads ≤ cores contract.
+# ---------------------------------------------------------------------------
+
+_THREAD_BUDGET: int | None = None  # None = default (all cores)
+
+
+def thread_budget() -> int:
+    """Max threads the kernel may fan out across (defaults to cpu count)."""
+    if _THREAD_BUDGET is not None:
+        return _THREAD_BUDGET
+    return max(1, os.cpu_count() or 1)
+
+
+def set_thread_budget(n: int | None) -> int | None:
+    """Cap kernel thread fan-out; returns the previous override.
+
+    ``None`` restores the default (all cores).  ``ExperimentRunner`` sets
+    ``cores // workers`` before forking its process pool so forked workers
+    inherit the cap and the box never runs ``workers × cores`` threads.
+    """
+    global _THREAD_BUDGET
+    prev = _THREAD_BUDGET
+    _THREAD_BUDGET = None if n is None else max(1, int(n))
+    return prev
+
+
+# ---------------------------------------------------------------------------
+# Primitives — the order-sensitive reductions a backend may swap out.
+# ---------------------------------------------------------------------------
+
+
+class KernelPrimitives:
+    """The sequential reductions + expiry merge used by the kernel tier.
+
+    ``seq_sum``/``repeat_add`` must perform a strict left-to-right chain
+    of IEEE additions; ``merge_interleave`` must interleave two
+    expiry-sorted streams with within-first-on-tie *detection* (returning
+    ``None`` on any cross-stream tie so the caller can take the stable
+    lexsort fallback).  Any implementation honoring those contracts is
+    bit-identical to numpy's.
+    """
+
+    __slots__ = ("name", "compiled", "seq_sum", "repeat_add", "merge_interleave")
+
+    def __init__(self, name, compiled, seq_sum, repeat_add, merge_interleave):
+        self.name = name
+        self.compiled = compiled
+        self.seq_sum = seq_sum
+        self.repeat_add = repeat_add
+        self.merge_interleave = merge_interleave
+
+
+def _np_seq_sum(vals: np.ndarray) -> float:
+    # accumulate is defined as out[i] = out[i-1] + vals[i]; only the last
+    # element is consumed, so this IS the left-to-right scalar sum.
+    if not vals.size:
+        return 0.0
+    np.add.accumulate(vals, out=vals)
+    return float(vals[-1])
+
+
+def _np_repeat_add(value: float, count: int) -> float:
+    if not count:
+        return 0.0
+    return float(np.add.accumulate(np.full(count, value))[-1])
+
+
+def _np_merge_interleave(dw, ew, db, eb):
+    # Positional interleave of two expiry-sorted streams via two
+    # searchsorted passes; bails (None) on any cross-stream tie, where
+    # the caller's lexsort fallback defines the order.
+    lo = np.searchsorted(eb, ew, side="left")
+    if not np.array_equal(lo, np.searchsorted(eb, ew, side="right")):
+        return None
+    out = np.empty(dw.size + db.size, dtype=np.int64)
+    exp = np.empty(out.size)
+    pw = np.arange(dw.size)
+    pw += lo
+    out[pw] = dw
+    exp[pw] = ew
+    pb = np.arange(db.size)
+    pb += np.searchsorted(ew, eb, side="left")
+    out[pb] = db
+    exp[pb] = eb
+    return out, exp
+
+
+NUMPY_PRIMS = KernelPrimitives(
+    "numpy", False, _np_seq_sum, _np_repeat_add, _np_merge_interleave
+)
+
+
+# Pure-python loop bodies for the compiled primitives.  Written as plain
+# module functions so (a) numba can njit them with cache=True and (b) the
+# fallback-only test environment can still check their op order against
+# numpy on small inputs without numba installed.
+
+
+def _seq_sum_loop(vals):
+    s = 0.0
+    for i in range(vals.shape[0]):
+        s += vals[i]
+    return s
+
+
+def _repeat_add_loop(value, count):
+    s = 0.0
+    for _ in range(count):
+        s += value
+    return s
+
+
+def _merge_loop(dw, ew, db, eb):
+    # Two-pointer interleave; ties between stream fronts are reported via
+    # the third return (both streams are expiry-sorted, so every
+    # cross-stream tie eventually surfaces at the fronts).
+    nw = dw.shape[0]
+    nb = db.shape[0]
+    out = np.empty(nw + nb, dtype=np.int64)
+    exp = np.empty(nw + nb, dtype=np.float64)
+    i = 0
+    j = 0
+    k = 0
+    while i < nw and j < nb:
+        a = ew[i]
+        b = eb[j]
+        if a == b:
+            return out, exp, True
+        if a < b:
+            out[k] = dw[i]
+            exp[k] = a
+            i += 1
+        else:
+            out[k] = db[j]
+            exp[k] = b
+            j += 1
+        k += 1
+    while i < nw:
+        out[k] = dw[i]
+        exp[k] = ew[i]
+        i += 1
+        k += 1
+    while j < nb:
+        out[k] = db[j]
+        exp[k] = eb[j]
+        j += 1
+        k += 1
+    return out, exp, False
+
+
+_NUMBA_CHECKED = False
+_NUMBA_OK = False
+_NUMBA_PRIMS: KernelPrimitives | None = None
+
+
+def numba_available() -> bool:
+    """True when numba imports cleanly (memoized; never a hard dependency)."""
+    global _NUMBA_CHECKED, _NUMBA_OK
+    if not _NUMBA_CHECKED:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_OK = True
+        except Exception:
+            _NUMBA_OK = False
+        _NUMBA_CHECKED = True
+    return _NUMBA_OK
+
+
+def numba_prims() -> KernelPrimitives:
+    """Compiled primitives, or ``NUMPY_PRIMS`` when numba is unavailable."""
+    global _NUMBA_PRIMS
+    if _NUMBA_PRIMS is None:
+        _NUMBA_PRIMS = _build_numba_prims()
+    return _NUMBA_PRIMS
+
+
+def _build_numba_prims() -> KernelPrimitives:
+    if not numba_available():
+        return NUMPY_PRIMS
+    try:
+        from numba import njit
+
+        jit = njit(cache=True, nogil=True)
+        nb_seq = jit(_seq_sum_loop)
+        nb_rep = jit(_repeat_add_loop)
+        nb_merge = jit(_merge_loop)
+
+        def seq_sum(vals):
+            return float(nb_seq(vals))
+
+        def repeat_add(value, count):
+            return float(nb_rep(value, count))
+
+        def merge_interleave(dw, ew, db, eb):
+            out, exp, tie = nb_merge(dw, ew, db, eb)
+            return None if tie else (out, exp)
+
+        return KernelPrimitives("numba", True, seq_sum, repeat_add, merge_interleave)
+    except Exception:
+        # Broken numba install (missing llvmlite, unsupported platform):
+        # degrade to numpy rather than poisoning every kernel call.
+        return NUMPY_PRIMS
+
+
+# ---------------------------------------------------------------------------
+# Backends — execution strategy (how cells fan out) + primitives.
+# ---------------------------------------------------------------------------
+
+
+class KernelBackend:
+    """A named execution strategy for a slab of kernel cells."""
+
+    name = "base"
+
+    def resolve(self, n_cells: int, m: int) -> "KernelBackend":
+        """Concrete backend for a slab of ``n_cells`` cells over ``m`` events."""
+        return self
+
+    def prims(self) -> KernelPrimitives:
+        return NUMPY_PRIMS
+
+    def run_cells(self, n_cells: int, run_one):
+        """Evaluate ``run_one(c)`` for each cell, in cell-index order."""
+        return [run_one(c) for c in range(n_cells)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KernelBackend {self.name}>"
+
+
+class NumpyBackend(KernelBackend):
+    name = "numpy"
+
+
+class ThreadsBackend(KernelBackend):
+    """Numpy passes, cells fanned out over a thread pool.
+
+    ``ThreadPoolExecutor.map`` preserves input order, so results come back
+    in cell-index order — output is positionally bit-identical to serial.
+    Falls back to the serial loop when the budget or the slab is too small
+    for fan-out to pay.
+    """
+
+    name = "threads"
+
+    def run_cells(self, n_cells: int, run_one):
+        workers = min(
+            thread_budget(), max(1, n_cells // THREADS_MIN_CELLS_PER_THREAD)
+        )
+        if workers <= 1 or n_cells <= 1:
+            return [run_one(c) for c in range(n_cells)]
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-kernel"
+        ) as pool:
+            return list(pool.map(run_one, range(n_cells)))
+
+
+class NumbaBackend(KernelBackend):
+    """Compiled per-cell loops; silent bit-identical numpy fallback."""
+
+    name = "numba"
+
+    def prims(self) -> KernelPrimitives:
+        return numba_prims()
+
+
+class AutoBackend(KernelBackend):
+    """Crossover-driven choice among the concrete backends."""
+
+    name = "auto"
+
+    def resolve(self, n_cells: int, m: int) -> KernelBackend:
+        if thread_budget() > 1 and n_cells >= 2 * THREADS_MIN_CELLS_PER_THREAD:
+            return _BACKENDS["threads"]
+        if numba_available() and m >= NUMBA_MIN_M:
+            return _BACKENDS["numba"]
+        return _BACKENDS["numpy"]
+
+    def prims(self) -> KernelPrimitives:  # pragma: no cover - resolve() first
+        return NUMPY_PRIMS
+
+
+_BACKENDS: dict[str, KernelBackend] = {
+    "auto": AutoBackend(),
+    "numpy": NumpyBackend(),
+    "threads": ThreadsBackend(),
+    "numba": NumbaBackend(),
+}
+
+BACKEND_NAMES = tuple(_BACKENDS)
+
+
+def get_backend(name: "str | KernelBackend | None" = None) -> KernelBackend:
+    """Look up a backend by name (strict), env override, or passthrough.
+
+    ``None`` consults ``REPRO_KERNEL_BACKEND`` and falls back to ``auto``.
+    Unknown names raise ``ValueError`` — including unknown values of the
+    environment variable, so typos fail loudly instead of silently running
+    the default.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or "auto"
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+        ) from None

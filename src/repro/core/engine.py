@@ -191,12 +191,14 @@ from __future__ import annotations
 import abc
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..obs import metrics as _obs
+from .backends import NUMPY_PRIMS, KernelBackend, KernelPrimitives, get_backend
 from .costs import CostModel
 from .policy import PolicyError, ReplicationPolicy
 from .simulator import SimulationResult, simulate
@@ -287,10 +289,16 @@ class Engine(abc.ABC):
         """
         if not _obs.enabled:
             return self.run(trace, model, policy, drain, drain_event_cap)
-        with _obs.span("engine.cell", tier=self.name, m=len(trace)):
+        tags = self._span_tags(1, len(trace))
+        with _obs.span("engine.cell", tier=self.name, m=len(trace), **tags):
             out = self.run(trace, model, policy, drain, drain_event_cap)
         _obs.counter("repro_engine_cells_total", tier=self.name).inc()
         return out
+
+    def _span_tags(self, n_cells: int, m: int) -> dict:
+        """Extra tags for this engine's telemetry spans (kernel adds the
+        active execution backend)."""
+        return {}
 
 
 class ReferenceEngine(Engine):
@@ -1142,12 +1150,19 @@ class _SegmentChains:
     neighbour chains (one stable sort), and a memo of ``(t + duration,
     reach)`` arrays per distinct keep-duration, so a slab pays one
     ``searchsorted`` per duration rather than one per cell.
+
+    Thread safety: one instance may be shared by the ``threads``
+    backend's cell workers.  Every precomputed array is read-only after
+    ``__init__``; the duration memo is guarded by a lock (reads stay
+    lock-free — CPython dict gets are atomic — and a duplicate
+    ``_Shift`` built in a race is simply discarded by ``setdefault``);
+    the scratch workspace is thread-local, one per worker thread.
     """
 
     __slots__ = (
         "m", "m1", "n", "t_m", "t_all", "j_all", "order", "same",
         "succ", "prev", "prev_clip", "prev_ok", "lastq", "idx1",
-        "arange0", "idx_dtype", "_shifts", "_work",
+        "arange0", "idx_dtype", "_shifts", "_shift_lock", "_tls",
     )
 
     def __init__(self, trace: Trace):
@@ -1182,13 +1197,20 @@ class _SegmentChains:
         self.idx1 = np.arange(1, self.m1, dtype=idx)
         self.arange0 = np.arange(self.m1, dtype=idx)
         self._shifts: dict[float, _Shift] = {}
-        self._work: _KernelWorkspace | None = None
+        self._shift_lock = threading.Lock()
+        self._tls = threading.local()
 
     def workspace(self) -> "_KernelWorkspace":
-        work = self._work
+        """This thread's scratch workspace (created on first use).
+
+        Thread-local so the ``threads`` backend can replay cells
+        concurrently over one shared chains instance — the serial path
+        still reuses a single workspace across the whole slab.
+        """
+        work = getattr(self._tls, "work", None)
         if work is None:
             work = _KernelWorkspace(self.m, self.idx_dtype)
-            self._work = work
+            self._tls.work = work
         return work
 
     def shifted(self, duration: float) -> "_Shift":
@@ -1202,10 +1224,11 @@ class _SegmentChains:
         prediction column and touch mostly boolean arrays and compact
         index subsets.
         """
-        hit = self._shifts.get(duration)
+        hit = self._shifts.get(duration)   # lock-free fast path
         if hit is None:
-            hit = _Shift(self, duration)
-            self._shifts[duration] = hit
+            new = _Shift(self, duration)   # built outside the lock
+            with self._shift_lock:
+                hit = self._shifts.setdefault(duration, new)
         return hit
 
 
@@ -1243,8 +1266,9 @@ class _KernelWorkspace:
     A slab evaluates hundreds of cells over the same trace; without
     reuse every cell would allocate (and page-fault) trace-length
     arrays, which at a million requests costs more than the arithmetic.
-    Not thread-safe — one workspace per replay stream, like the chains
-    that own it.
+    Not thread-safe — one workspace per replay stream, which
+    :meth:`_SegmentChains.workspace` enforces by keeping one instance
+    per worker thread.
     """
 
     __slots__ = ("cover", "vals", "serve_cum", "dropped", "b_m1", "die", "L")
@@ -1267,6 +1291,7 @@ def _merge_by_expiry(
     dur_within: float,
     dur_beyond: float,
     ws: "_KernelWorkspace",
+    prims: KernelPrimitives = NUMPY_PRIMS,
 ) -> tuple[np.ndarray, np.ndarray]:
     """``(indices, expiries)`` of ``mask`` in ``(E, server)`` order —
     the expiry heap's pop order.
@@ -1275,9 +1300,12 @@ def _merge_by_expiry(
     strictly increasing request times, so the masked subset of either
     branch is already sorted: the ``(E, server)`` order is a two-stream
     merge, computed on the subsets (the full expiry column is never
-    materialised).  The server tie-break can only matter *across*
-    streams; the rare instances with cross-stream expiry ties fall back
-    to a lexsort.
+    materialised).  The backend's ``merge_interleave`` primitive does
+    the interleave (numpy: two ``searchsorted`` passes; numba: a
+    compiled two-pointer loop); the server tie-break can only matter
+    *across* streams, so any primitive reports cross-stream expiry ties
+    by returning ``None`` and the rare tied instances fall back to a
+    lexsort here.
     """
     t_all, j_all = chains.t_all, chains.j_all
     tmp = np.logical_and(mask, pred, out=ws.b_m1)
@@ -1291,19 +1319,9 @@ def _merge_by_expiry(
         return dw, ew
     if not dw.size:
         return db, eb
-    lo = np.searchsorted(eb, ew, side="left")
-    if np.array_equal(lo, np.searchsorted(eb, ew, side="right")):
-        out = np.empty(dw.size + db.size, dtype=np.int64)
-        exp = np.empty(out.size)
-        pw = np.arange(dw.size)
-        pw += lo
-        out[pw] = dw
-        exp[pw] = ew
-        pb = np.arange(db.size)
-        pb += np.searchsorted(ew, eb, side="left")
-        out[pb] = db
-        exp[pb] = eb
-        return out, exp
+    merged = prims.merge_interleave(dw, ew, db, eb)
+    if merged is not None:
+        return merged
     mi = np.flatnonzero(mask)
     emi = t_all[mi] + np.where(pred[mi], dur_within, dur_beyond)
     order = np.lexsort((j_all[mi], emi))
@@ -1391,13 +1409,17 @@ def _kernel_algorithm1(
     pred: np.ndarray,
     drain: bool,
     drain_event_cap: int | None,
+    prims: KernelPrimitives = NUMPY_PRIMS,
 ) -> tuple[float, float, int]:
     """Replay Algorithm 1 with pure array passes (no per-request loop).
 
     Returns ``(storage, transfer, n_transfers)`` bit-identical to
     ``_fast_algorithm1(trace, model, alpha, pred, drain,
     drain_event_cap)`` on the trace behind ``chains``.  See the module
-    DESIGN docstring for the derivation.
+    DESIGN docstring for the derivation.  ``prims`` supplies the
+    order-sensitive reductions and the expiry merge — every registered
+    implementation replays the exact IEEE op order, so the result does
+    not depend on the backend (``core/backends.py``).
     """
     m, m1 = chains.m, chains.m1
     t_all, j_all = chains.t_all, chains.j_all
@@ -1459,7 +1481,7 @@ def _kernel_algorithm1(
     np.copyto(dropped, sw.drop, where=pred)
     if spec_choice.size:
         dropped[spec_choice] = False
-    do, e_do = _merge_by_expiry(chains, dropped, pred, lam, dur_beyond, ws)
+    do, e_do = _merge_by_expiry(chains, dropped, pred, lam, dur_beyond, ws, prims)
     pop_ev = np.where(pred[do], sw.reach[do], sb.reach[do])
     pop_ev += 1                              # monotone: reach follows E
 
@@ -1538,11 +1560,11 @@ def _kernel_algorithm1(
     tail *= rate
     vals[m1 - tail_q.size :] = tail
     # sequential accumulation == the scalar's ordered `storage += charge`
-    np.add.accumulate(vals, out=vals)
-    storage = float(vals[-1]) if m1 else 0.0
+    # (prims.seq_sum is a strict left-to-right chain on every backend)
+    storage = prims.seq_sum(vals)
 
-    # repeated `transfer += lam`, as one sequential prefix accumulation
-    transfer = float(np.add.accumulate(np.full(n_tx, lam))[-1]) if n_tx else 0.0
+    # repeated `transfer += lam`, as one sequential left-to-right chain
+    transfer = prims.repeat_add(lam, n_tx)
     return storage, transfer, n_tx
 
 
@@ -1556,9 +1578,27 @@ class KernelCostEngine(Engine):
     every supported ``(policy, trace)``.  The scalar :meth:`run`
     interface evaluates one cell; :meth:`run_slab` shares the per-trace
     chains and per-duration reach arrays across a whole slab.
+
+    ``backend`` picks the execution backend for the kernel passes
+    (``core/backends.py``): ``None`` defers to the
+    ``REPRO_KERNEL_BACKEND`` env override and then ``"auto"``, which
+    fans wide slabs out across threads and (when importable) compiles
+    the sequential reductions with numba.  Every backend is
+    bit-identical — the per-cell IEEE op order never changes — so the
+    choice is purely a throughput knob.
     """
 
     name = "kernel"
+
+    def __init__(self, backend: "str | KernelBackend | None" = None):
+        self.backend = backend
+
+    def backend_for(self, n_cells: int, m: int) -> KernelBackend:
+        """The concrete backend this engine would use for a slab."""
+        return get_backend(self.backend).resolve(n_cells, m)
+
+    def _span_tags(self, n_cells: int, m: int) -> dict:
+        return {"backend": self.backend_for(n_cells, m).name}
 
     def supports(
         self, trace: Trace, model: CostModel, policy: ReplicationPolicy
@@ -1615,6 +1655,7 @@ class KernelCostEngine(Engine):
             stream.within,
             drain,
             drain_event_cap,
+            self.backend_for(1, chains.m).prims(),
         )
         return CostResult(
             trace=trace,
@@ -1687,23 +1728,29 @@ class KernelCostEngine(Engine):
         chains = _SegmentChains(trace)
         rate = model.storage_rates[0]
         lam = model.lam
-        out = []
-        for c, p in enumerate(policies):
-            storage, transfer, n_tx = _kernel_algorithm1(
-                chains, rate, lam, p.alpha, matrix[c], True, None
+        backend = self.backend_for(len(policies), chains.m)
+        prims = backend.prims()
+
+        def _one(c: int) -> tuple[float, float, int]:
+            return _kernel_algorithm1(
+                chains, rate, lam, policies[c].alpha, matrix[c], True, None, prims
             )
-            out.append(
-                CostResult(
-                    trace=trace,
-                    model=model,
-                    policy_name=p.name,
-                    storage_cost=storage,
-                    transfer_cost=transfer,
-                    n_transfers=n_tx,
-                    engine="kernel",
-                )
+
+        # run_cells preserves cell-index order, so assembly below is
+        # positionally identical to the serial loop
+        tuples = backend.run_cells(len(policies), _one)
+        return [
+            CostResult(
+                trace=trace,
+                model=model,
+                policy_name=p.name,
+                storage_cost=storage,
+                transfer_cost=transfer,
+                n_transfers=n_tx,
+                engine="kernel",
             )
-        return out
+            for p, (storage, transfer, n_tx) in zip(policies, tuples)
+        ]
 
 
 def run_slab(
@@ -1712,6 +1759,7 @@ def run_slab(
     cells: Sequence[SlabCell],
     factory: SlabFactory,
     engine: str | Engine = "auto",
+    backend: "str | KernelBackend | None" = None,
 ) -> list:
     """Evaluate a slab of grid cells sharing one ``(trace, lambda)``.
 
@@ -1723,10 +1771,14 @@ def run_slab(
     requests (Wang slabs stay on the batch tier) and the batch engine's
     single shared trace pass below it; otherwise — a concrete engine
     was requested, or the slab mixes policy families — each cell runs
-    through :func:`select_engine` individually.  Per-cell costs are
-    bit-identical across every path.
+    through :func:`select_engine` individually.  ``backend`` picks the
+    kernel tier's execution backend (``core/backends.py``; validated
+    even when a non-kernel tier ends up running).  Per-cell costs are
+    bit-identical across every path and every backend.
     """
     cells = list(cells)
+    if backend is not None:
+        get_backend(backend)    # strict: unknown names fail loudly
     if not cells:
         return []
     batch = _ENGINES["batch"]
@@ -1747,11 +1799,11 @@ def run_slab(
             kernel_able = bool(plan[1])     # Wang plans carry no predictors
             if wants_kernel:
                 if kernel_able:
-                    return _run_plan_observed("kernel", trace, model, plan)
+                    return _run_plan_observed("kernel", trace, model, plan, backend)
                 # explicit "kernel" on a Wang slab stays strict: fall
                 # through to the per-cell loop, which raises
             elif engine == "auto" and kernel_able and len(trace) >= KERNEL_SLAB_MIN_M:
-                return _run_plan_observed("kernel", trace, model, plan)
+                return _run_plan_observed("kernel", trace, model, plan, backend)
             else:
                 return _run_plan_observed("batch", trace, model, plan)
     # per-cell fallback: "auto" keeps auto-selecting; a concrete engine
@@ -1759,18 +1811,26 @@ def run_slab(
     # cannot execute, exactly as the scalar paths do
     out = []
     for policy in policies:
-        eng = select_engine(trace, model, policy, engine)
+        eng = select_engine(trace, model, policy, engine, backend=backend)
         out.append(eng.run_observed(trace, model, policy))
     return out
 
 
-def _run_plan_observed(tier: str, trace: Trace, model: CostModel, plan) -> list:
-    """Execute a slab plan under an ``engine.slab`` span tagged by tier."""
-    eng = _ENGINES[tier]
+def _run_plan_observed(
+    tier: str,
+    trace: Trace,
+    model: CostModel,
+    plan,
+    backend: "str | KernelBackend | None" = None,
+) -> list:
+    """Execute a slab plan under an ``engine.slab`` span tagged by tier
+    (and, for the kernel tier, by the active execution backend)."""
+    eng = get_engine(tier, backend=backend)
     if not _obs.enabled:
         return eng._run_plan(trace, model, plan)
     n_cells = len(plan[0])
-    with _obs.span("engine.slab", tier=tier, cells=n_cells, m=len(trace)):
+    tags = eng._span_tags(n_cells, len(trace))
+    with _obs.span("engine.slab", tier=tier, cells=n_cells, m=len(trace), **tags):
         out = eng._run_plan(trace, model, plan)
     _obs.counter("repro_engine_cells_total", tier=tier).inc(n_cells)
     return out
@@ -1780,6 +1840,7 @@ def run_policy_slab(
     trace: Trace,
     cells: Sequence[tuple[CostModel, ReplicationPolicy]],
     engine: str | Engine = "auto",
+    backend: "str | KernelBackend | None" = None,
 ) -> list:
     """Evaluate pre-built ``(model, policy)`` cells sharing one trace.
 
@@ -1801,8 +1862,10 @@ def run_policy_slab(
     Cells no slab tier can take fall back through :func:`select_engine`
     one at a time, so a concrete engine name stays strict (it raises on
     policies it cannot execute) while ``"auto"`` always completes.
-    Per-cell costs are bit-identical to ``select_engine(trace, model,
-    policy, engine).run_observed(trace, model, policy)`` on every path.
+    ``backend`` picks the kernel tier's execution backend
+    (``core/backends.py``).  Per-cell costs are bit-identical to
+    ``select_engine(trace, model, policy, engine).run_observed(trace,
+    model, policy)`` on every path and every backend.
     """
     from ..algorithms.conventional import ConventionalReplication
     from ..algorithms.wang import WangReplication
@@ -1810,6 +1873,8 @@ def run_policy_slab(
     from ..predictions.stream import PredictionStream
 
     cells = list(cells)
+    if backend is not None:
+        get_backend(backend)    # strict: unknown names fail loudly
     if not cells:
         return []
     for model, _ in cells:
@@ -1846,12 +1911,21 @@ def run_policy_slab(
                 trace,
             )
             assert rows is not None  # supports() vetted streamability
+            # a caller-supplied engine instance keeps its own backend
+            # unless an explicit backend= overrides it
+            if isinstance(engine, KernelCostEngine) and backend is None:
+                kernel_eng = engine
+            else:
+                kernel_eng = get_engine("kernel", backend=backend)
+            be = kernel_eng.backend_for(len(alg1), len(trace))
+            prims = be.prims()
 
             def _kernel_slab() -> None:
                 chains = _SegmentChains(trace)
-                for k, i in enumerate(alg1):
-                    model, policy = cells[i]
-                    storage, transfer, n_tx = _kernel_algorithm1(
+
+                def _one(k: int) -> tuple[float, float, int]:
+                    model, policy = cells[alg1[k]]
+                    return _kernel_algorithm1(
                         chains,
                         model.storage_rates[0],
                         model.lam,
@@ -1859,7 +1933,13 @@ def run_policy_slab(
                         rows[k],
                         True,
                         None,
+                        prims,
                     )
+
+                tuples = be.run_cells(len(alg1), _one)
+                for k, i in enumerate(alg1):
+                    model, policy = cells[i]
+                    storage, transfer, n_tx = tuples[k]
                     results[i] = CostResult(
                         trace=trace,
                         model=model,
@@ -1872,7 +1952,11 @@ def run_policy_slab(
 
             if _obs.enabled:
                 with _obs.span(
-                    "engine.slab", tier="kernel", cells=len(alg1), m=len(trace)
+                    "engine.slab",
+                    tier="kernel",
+                    cells=len(alg1),
+                    m=len(trace),
+                    backend=be.name,
                 ):
                     _kernel_slab()
                 _obs.counter("repro_engine_cells_total", tier="kernel").inc(
@@ -1925,7 +2009,7 @@ def run_policy_slab(
     # stays strict, exactly as run_slab's fallback does
     for i, (model, policy) in enumerate(cells):
         if results[i] is None:
-            eng = select_engine(trace, model, policy, engine)
+            eng = select_engine(trace, model, policy, engine, backend=backend)
             results[i] = eng.run_observed(trace, model, policy)
     return results
 
@@ -1952,17 +2036,43 @@ ENGINE_NAMES: tuple[str, ...] = ("auto", "batch", "fast", "kernel", "reference")
 KERNEL_MIN_M = 256
 KERNEL_SLAB_MIN_M = 1_024
 
+#: backend-configured kernel engine singletons, one per backend name
+#: (``get_engine("kernel")`` without a backend keeps returning the
+#: registry instance, preserving identity for selection tests and memos)
+_KERNEL_VARIANTS: dict[str, KernelCostEngine] = {}
 
-def get_engine(name: str | Engine) -> Engine:
-    """Resolve an engine instance from a name (``"fast"``/``"reference"``)."""
+
+def _kernel_variant(backend: "str | KernelBackend") -> KernelCostEngine:
+    name = get_backend(backend).name     # strict: validates the name
+    eng = _KERNEL_VARIANTS.get(name)
+    if eng is None:
+        eng = _KERNEL_VARIANTS.setdefault(name, KernelCostEngine(backend=name))
+    return eng
+
+
+def get_engine(
+    name: str | Engine, backend: "str | KernelBackend | None" = None
+) -> Engine:
+    """Resolve an engine instance from a name (``"fast"``/``"reference"``).
+
+    ``backend`` configures the kernel tier's execution backend
+    (``core/backends.py``); it is validated strictly but only takes
+    effect when the resolved engine is the kernel — the other tiers
+    have a single execution strategy.
+    """
+    if backend is not None:
+        get_backend(backend)    # strict even when the engine ignores it
     if isinstance(name, Engine):
         return name
     try:
-        return _ENGINES[name]
+        eng = _ENGINES[name]
     except KeyError:
         raise ValueError(
             f"unknown engine {name!r}; choose from {sorted(_ENGINES)} or 'auto'"
         ) from None
+    if backend is not None and name == "kernel":
+        return _kernel_variant(backend)
+    return eng
 
 
 def select_engine(
@@ -1971,6 +2081,7 @@ def select_engine(
     policy: ReplicationPolicy,
     engine: str | Engine = "auto",
     slab_size: int = 1,
+    backend: "str | KernelBackend | None" = None,
 ) -> Engine:
     """Pick the engine for one run (or one slab of runs).
 
@@ -1983,8 +2094,12 @@ def select_engine(
     single runs — and the reference engine otherwise (see the module
     docstring).  A concrete name or :class:`Engine` instance is returned
     as-is — callers that need telemetry must pass ``"reference"``
-    explicitly.
+    explicitly.  ``backend`` configures the kernel tier's execution
+    backend whenever the kernel is the outcome (``core/backends.py``);
+    the other tiers ignore it.
     """
+    if backend is not None:
+        get_backend(backend)    # strict even when the kernel loses
     if engine == "auto":
         fast = _ENGINES["fast"]
         if fast.supports(trace, model, policy):
@@ -1995,6 +2110,8 @@ def select_engine(
                 reason = "below_kernel_crossover"
             elif kernel.supports(trace, model, policy):
                 chosen, reason = kernel, "kernel_eligible"
+                if backend is not None:
+                    chosen = _kernel_variant(backend)
             else:
                 # e.g. Wang's cross-server drop cascade: fast-path
                 # eligible but gated off the segment-scan tier
@@ -2007,4 +2124,4 @@ def select_engine(
                 "repro_engine_select_total", engine=chosen.name, reason=reason
             ).inc()
         return chosen
-    return get_engine(engine)
+    return get_engine(engine, backend=backend)

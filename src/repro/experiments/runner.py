@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from ..analysis.sweep import SweepPoint, SweepResult, algorithm1_factory
+from ..core import backends
 from ..core.costs import CostModel
 from ..core.engine import (
     CostResult,
@@ -267,6 +268,7 @@ def _slab_chunk_task(
         scenario: Scenario = ctx["scenario"]
         trace = _resolve_trace(trace_key)
         engine = ctx.get("engine", "auto")
+        backend = ctx.get("backend")
         model = CostModel(lam=lam, n=trace.n)
         runs = run_slab(
             trace,
@@ -274,6 +276,7 @@ def _slab_chunk_task(
             [(alpha, accuracy, seed) for _, alpha, accuracy, seed in cells],
             scenario.policy_factory,
             engine=engine,
+            backend=backend,
         )
         return [(cell[0], run.total_cost) for cell, run in zip(cells, runs)]
 
@@ -306,6 +309,7 @@ def _fleet_chunk_task(chunk: Sequence[tuple]):
         ctx = _ctx()
         n: int = ctx["n"]
         engine = ctx.get("engine", "reference")
+        backend = ctx.get("backend")
         factories = ctx["factories"]
         ship_results: bool = ctx["fleet_ship_results"]
         rows: list[tuple[int, Any]] = []
@@ -317,9 +321,9 @@ def _fleet_chunk_task(chunk: Sequence[tuple]):
                 with _obs.span(
                     "fleet.chunk", objects=len(idxs), m=len(trace), lam=lam
                 ):
-                    runs = run_policy_slab(trace, cells, engine)
+                    runs = run_policy_slab(trace, cells, engine, backend=backend)
             else:
-                runs = run_policy_slab(trace, cells, engine)
+                runs = run_policy_slab(trace, cells, engine, backend=backend)
             for i, result in zip(idxs, runs):
                 if not ship_results:
                     rows.append((i, result.total_cost))
@@ -374,16 +378,29 @@ class _Executor:
 
     Publishes ``context`` to :data:`_WORKER_CONTEXT` for the duration of
     the run so the task functions behave identically on both paths.
+
+    When forking, also installs a kernel thread budget of
+    ``cores // workers`` *before* the pool is created, so forked workers
+    inherit the cap and the ``threads`` backend never oversubscribes the
+    box beyond ``workers x threads <= cores`` (the serial path keeps the
+    full budget).  The previous budget is restored on exit.
     """
+
+    _NO_BUDGET = object()     # sentinel: budget untouched (serial path)
 
     def __init__(self, workers: int, context: dict[str, Any]):
         self._context = context
         self._mp = _fork_context() if workers > 1 else None
         self.workers = workers if self._mp is not None else 1
+        self._prev_budget: Any = self._NO_BUDGET
 
     def __enter__(self) -> "_Executor":
         global _WORKER_CONTEXT
         _WORKER_CONTEXT = self._context
+        if self.workers > 1:
+            self._prev_budget = backends.set_thread_budget(
+                max(1, (os.cpu_count() or 1) // self.workers)
+            )
         self._pool = (
             ProcessPoolExecutor(max_workers=self.workers, mp_context=self._mp)
             if self.workers > 1
@@ -396,6 +413,9 @@ class _Executor:
         if self._pool is not None:
             # cancel anything still queued (interrupt/resume support)
             self._pool.shutdown(wait=True, cancel_futures=True)
+        if self._prev_budget is not self._NO_BUDGET:
+            backends.set_thread_budget(self._prev_budget)
+            self._prev_budget = self._NO_BUDGET
         _WORKER_CONTEXT = None
 
     def run(self, fn, chunks: Sequence[Any]):
@@ -474,6 +494,14 @@ class ExperimentRunner:
         ``"batch"``/``"fast"``/``"reference"`` force one engine.
         Results are bit-identical across engines, so the result cache is
         shared between them.
+    backend:
+        Kernel execution backend (``core/backends.py``): ``None``
+        defers to ``REPRO_KERNEL_BACKEND`` and then ``"auto"``;
+        ``"numpy"``/``"threads"``/``"numba"`` force one.  Backends are
+        bit-identical too, so the cache is shared across them as well.
+        When this runner forks worker processes it caps the thread
+        backend's fan-out at ``cores // workers`` for the duration of
+        the run (workers x threads <= cores).
     spill_dir:
         Directory for content-addressed ``<digest>.npz`` trace spool
         files (the columnar worker hand-off).  ``None`` (default) uses a
@@ -499,6 +527,7 @@ class ExperimentRunner:
         engine: str | Engine = "auto",
         spill_dir: str | os.PathLike[str] | None = None,
         spill_threshold: int | None = DEFAULT_SPILL_THRESHOLD,
+        backend: str | None = None,
     ):
         if workers is None:
             workers = os.cpu_count() or 1
@@ -507,6 +536,7 @@ class ExperimentRunner:
         self.chunk_size = chunk_size
         self.progress = progress if progress is not None else NullProgress()
         self.engine = engine
+        self.backend = backend
         self.spill_dir = spill_dir
         self.spill_threshold = spill_threshold
 
@@ -527,6 +557,7 @@ class ExperimentRunner:
         seed: int = 0,
         optimal_cache: dict[float, float] | None = None,
         engine: str | Engine | None = None,
+        backend: str | None = None,
     ) -> SweepResult:
         """Drop-in parallel equivalent of the serial ``sweep_grid`` loop.
 
@@ -554,6 +585,7 @@ class ExperimentRunner:
             optimal_cache=optimal_cache,
             sim_cache=self.cache if salt is not None else NullCache(),
             engine=engine,
+            backend=backend,
         )
         return result.sweep_result(seed)
 
@@ -564,6 +596,7 @@ class ExperimentRunner:
         engine: str | Engine | None = None,
         materialize: bool = True,
         top_k: int = 16,
+        backend: str | None = None,
     ):
         """Parallel equivalent of ``MultiObjectSystem.run``.
 
@@ -605,6 +638,8 @@ class ExperimentRunner:
 
         if engine is None:
             engine = "reference" if self.engine == "auto" else self.engine
+        if backend is None:
+            backend = self.backend
         specs = list(system.specs)
         report = FleetReport(materialize=materialize, top_k=top_k)
         if not specs:
@@ -649,6 +684,7 @@ class ExperimentRunner:
             "trace_files": trace_files,
             "n": n,
             "engine": engine,
+            "backend": backend,
             "factories": factories,
             "fleet_ship_results": bool(materialize),
         }
@@ -915,6 +951,7 @@ class ExperimentRunner:
         optimal_cache: dict[float, float] | None = None,
         sim_cache: ResultCache | NullCache | None = None,
         engine: str | Engine | None = None,
+        backend: str | None = None,
     ) -> ExperimentResult:
         busy0 = (
             _obs.counter("repro_worker_busy_seconds_total").value
@@ -925,7 +962,7 @@ class ExperimentRunner:
         # enabled) and is the stopwatch behind ExperimentResult.elapsed
         with _obs.timed_span("runner.scenario", scenario=scenario.name) as sp:
             out = self._run_scenario_inner(
-                scenario, optimal_cache, sim_cache, engine
+                scenario, optimal_cache, sim_cache, engine, backend
             )
         out.elapsed = sp.elapsed
         _log.info(
@@ -952,11 +989,14 @@ class ExperimentRunner:
         optimal_cache: dict[float, float] | None,
         sim_cache: ResultCache | NullCache | None,
         engine: str | Engine | None,
+        backend: str | None = None,
     ) -> ExperimentResult:
         if sim_cache is None:
             sim_cache = self.cache
         if engine is None:
             engine = self.engine
+        if backend is None:
+            backend = self.backend
         jobs = _enumerate_jobs(scenario)
         out = ExperimentResult(
             scenario=scenario.name,
@@ -981,6 +1021,7 @@ class ExperimentRunner:
             "traces": inherit,
             "trace_files": trace_files,
             "engine": engine,
+            "backend": backend,
         }
         opts: dict[tuple[tuple, float], float] = {}
         online: dict[int, tuple[float, bool]] = {}

@@ -257,8 +257,15 @@ def summarize(snap: Mapping[str, Any]) -> str:
         lines.append("span totals (wall time by name):")
         by_name: dict[str, tuple[int, float]] = {}
         for s in spans:
-            n, tot = by_name.get(s["name"], (0, 0.0))
-            by_name[s["name"]] = (n + 1, tot + s["dur_ns"] * 1e-9)
+            # engine spans carry the active kernel execution backend;
+            # keep the backends' stats apart instead of lumping every
+            # kernel cell/slab into one row
+            key = s["name"]
+            backend = (s.get("tags") or {}).get("backend")
+            if backend:
+                key = f"{key}{{backend={backend}}}"
+            n, tot = by_name.get(key, (0, 0.0))
+            by_name[key] = (n + 1, tot + s["dur_ns"] * 1e-9)
         width = max(len(n) for n in by_name)
         for name in sorted(by_name, key=lambda n: -by_name[n][1]):
             n, tot = by_name[name]

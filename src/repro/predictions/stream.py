@@ -40,6 +40,18 @@ fast engine would build for that cell.
 cells with *heterogeneous* lambdas (per-object transfer costs in
 cross-object fleet slabs): the ground truth is memoised per distinct
 lambda, the per-seed draws stay shared fleet-wide.
+
+Thread safety
+-------------
+The kernel tier's ``threads`` backend (``core/backends.py``) consumes
+these streams from concurrent cell workers, which is safe by
+construction: the per-lambda truth and per-seed draw memos in the batch
+builders are *function-local* dicts — each call builds its own — and
+every returned stream/matrix is fully written before the caller fans
+cells out, after which the workers only read their own column.  Scalar
+:class:`PredictionStream` instances additionally freeze their ``within``
+array (``writeable = False``).  Keep it that way: a future cross-call
+memo would need a lock or thread-local storage.
 """
 
 from __future__ import annotations
