@@ -3,13 +3,17 @@
 Runs the paper's *fig25 grid* (Algorithm 1 with noisy-oracle
 predictions over the full ``alpha x accuracy`` axes at ``lambda = 10``)
 through the kernel engine once per registered execution backend
-(``core/backends.py``), plus a heterogeneous-lambda fleet slab through
+(``core/backends.py``), plus a heterogeneous-lambda *mixed-policy*
+fleet slab (Conventional + Wang cells, all on the kernel tier) through
 :func:`run_policy_slab`:
 
 * ``numpy`` — the serial vectorized baseline (speedup 1.0 by
   definition);
 * ``threads`` — cells fanned over a thread pool, swept across thread
-  budgets (2 .. cpu_count) via :func:`set_thread_budget`;
+  budgets (2 .. cpu_count) via :func:`set_thread_budget`; the sweep is
+  empty on a single-core box (oversubscribed threads would record a
+  bogus crossover), and each swept budget records whether it actually
+  beat the serial baseline on this core count;
 * ``numba`` — compiled hot loops, timed only when numba is importable
   (best-of-repeats excludes the first-call JIT compile).
 
@@ -54,6 +58,10 @@ FLEET_CELLS = 64
 #: best_speedup ~= 1.0 and the CI quick profile gates at 1.0
 MIN_SPEEDUP = 2.0
 
+#: report key diffed against the committed BENCH_*.json history
+#: by the persistent regression gate (`repro bench --regress`)
+GATE_METRIC = "best_speedup"
+
 #: quick profile appended by `repro bench --quick` (the CI smoke step)
 QUICK_ARGS = ["--requests", "60000"]
 
@@ -69,9 +77,14 @@ def _grid_cells():
 
 
 def _thread_counts() -> list[int]:
+    """Thread budgets to sweep: 2 and the box's core count, but never
+    more threads than there are cores.  On a single-core box the sweep
+    is empty — threads cannot win there, and forcing a budget of 2 (as
+    this helper once did) records a bogus oversubscribed "crossover"
+    into BENCH_backends.json; ``auto`` never picks threads at budget 1
+    for the same reason."""
     cores = os.cpu_count() or 1
-    counts = sorted({2, cores})
-    return [t for t in counts if t >= 2] or [2]
+    return [t for t in sorted({2, cores}) if 2 <= t <= cores]
 
 
 def _assert_identical(cells, base, other, label):
@@ -86,6 +99,7 @@ def run_backend_grid(requests: int = FULL_M, repeats: int | None = None) -> dict
     ``repeats`` (default: 1 at full size, 2 below — the second numba
     repeat is the one free of JIT compilation)."""
     from repro.algorithms.conventional import ConventionalReplication
+    from repro.algorithms.wang import WangReplication
     from repro.analysis.sweep import algorithm1_factory
     from repro.core.backends import numba_available, set_thread_budget
     from repro.core.costs import CostModel
@@ -97,8 +111,13 @@ def run_backend_grid(requests: int = FULL_M, repeats: int | None = None) -> dict
     trace = ibm_like_trace(n=SMOKE_N, m=requests, seed=SMOKE_SEED)
     cells = _grid_cells()
     model = CostModel(lam=FIG25_LAMBDA, n=trace.n)
+    # mixed-policy fleet: every fourth object runs the Wang baseline,
+    # which is kernel-eligible now and shares the single-tier slab
     fleet = [
-        (CostModel(lam=5.0 + i, n=trace.n), ConventionalReplication())
+        (
+            CostModel(lam=5.0 + i, n=trace.n),
+            WangReplication() if i % 4 == 3 else ConventionalReplication(),
+        )
         for i in range(FLEET_CELLS)
     ]
 
@@ -142,6 +161,10 @@ def run_backend_grid(requests: int = FULL_M, repeats: int | None = None) -> dict
             "grid_s": grid_s,
             "fleet_s": fleet_s,
             "speedup": numpy_s / grid_s,
+            # per-core-count crossover record: does this thread budget
+            # actually beat the serial baseline on this box?
+            "thread_count": t,
+            "wins": numpy_s / grid_s > 1.0,
         }
 
     if numba_available():
@@ -165,6 +188,7 @@ def run_backend_grid(requests: int = FULL_M, repeats: int | None = None) -> dict
         "cells": len(cells),
         "fleet_cells": FLEET_CELLS,
         "cpu_count": os.cpu_count() or 1,
+        "thread_counts": _thread_counts(),
         "numba": numba_available(),
         "backends": backends_report,
         "best_speedup": best,

@@ -39,6 +39,10 @@ SMOKE_SEED = 0
 #: (see BENCH_batch.json), the gate leaves headroom for noisy runners
 MIN_SPEEDUP = 3.0
 
+#: report key diffed against the committed BENCH_*.json history
+#: by the persistent regression gate (`repro bench --regress`)
+GATE_METRIC = "speedup"
+
 
 def _smoke_trace():
     from repro.workloads import ibm_like_trace

@@ -37,6 +37,10 @@ SMOKE_SEED = 0
 #: the gate leaves headroom for noisy shared runners
 MIN_SPEEDUP = 8.0
 
+#: report key diffed against the committed BENCH_*.json history
+#: by the persistent regression gate (`repro bench --regress`)
+GATE_METRIC = "speedup"
+
 
 def _smoke_trace():
     from repro.workloads import ibm_like_trace

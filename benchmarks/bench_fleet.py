@@ -1,10 +1,13 @@
 """Fleet benchmark: cross-object slab dispatch vs the per-object loop.
 
-Builds a million-object fleet (default) from a handful of workload
-templates — the deployment shape that makes cross-object slabs pay:
-objects sharing a ``(trace, lambda)`` group evaluate together in one
-batch/kernel slab instead of one engine call each.  Three paths are
-timed:
+Builds a million-object *mixed-policy* fleet (default) from a handful
+of workload templates — Algorithm 1 (oracle and noisy), the
+conventional baseline, and Wang et al. interleaved across objects, the
+deployment shape that makes cross-object slabs pay: objects sharing a
+``(trace, lambda)`` group evaluate together in one batch/kernel slab
+instead of one engine call each (Wang cells ride the same kernel slab
+via the cascade factorisation; equal-model Wang cells deduplicate
+through its memoised replay).  Three paths are timed:
 
 * **serial** — ``MultiObjectSystem.run`` object-at-a-time on the fast
   engine (measured on a subsample, reported as objects/sec);
@@ -14,9 +17,8 @@ timed:
   with work-sized chunks, streaming aggregates, and no per-object IPC.
 
 Bit-identity of the grouped, sharded, and streaming paths against the
-serial reference loop is always asserted on a small mixed-policy fleet
-(Algorithm 1 oracle/noisy, conventional, and Wang — the engine-fallback
-case) before any timing.  The vectorized ``split_trace_by_object`` is
+serial reference loop is always asserted on a small fleet of the same
+mixed-policy shape before any timing.  The vectorized ``split_trace_by_object`` is
 benchmarked against the per-row reference loop on the same log.
 
 Standalone use (the CI smoke step runs this via ``repro bench``)::
@@ -60,8 +62,24 @@ SPLIT_MAX_ROWS = 400_000
 #: full-size sharded-over-serial bar; CI smoke uses --gate 1.0
 MIN_SPEEDUP = 3.0
 
+#: report key diffed against the committed BENCH_*.json history
+#: by the persistent regression gate (`repro bench --regress`)
+GATE_METRIC = "speedup"
+
 #: quick profile appended by `repro bench --quick` (the CI smoke step)
 QUICK_ARGS = ["--objects", "20000", "--serial-sample", "4000"]
+
+
+#: the timed fleet's policy mix — every fourth object runs Wang's
+#: baseline, the rest split across Algorithm 1 variants and the
+#: conventional baseline; all four ride the kernel slab tier
+def _mixed_factories():
+    return [
+        _la_policy_factory,
+        _noisy_policy_factory,
+        _conventional_factory,
+        _wang_factory,
+    ]
 
 
 def _la_policy_factory(trace, model):
@@ -120,16 +138,8 @@ def check_bit_identity(workers: int = 2) -> None:
     small mixed-policy fleet (incl. the Wang engine-fallback)."""
     from repro.experiments import ExperimentRunner
 
-    system = _build_fleet(
-        IDENTITY_OBJECTS,
-        _templates(4),
-        factories=[
-            _la_policy_factory,
-            _noisy_policy_factory,
-            _conventional_factory,
-            _wang_factory,
-        ],
-    )
+    system = _build_fleet(IDENTITY_OBJECTS, _templates(4),
+                          factories=_mixed_factories())
     serial = system.run(engine="fast")
     grouped = system.run(engine="auto", grouped=True)
     for a, b in zip(serial.outcomes, grouped.outcomes):
@@ -223,13 +233,14 @@ def run_fleet_bench(
 
     templates = _templates()
     sample = min(n_objects, serial_sample)
-    serial_system = _build_fleet(sample, templates)
+    serial_system = _build_fleet(sample, templates,
+                                 factories=_mixed_factories())
     t0 = time.perf_counter()
     serial_report = serial_system.run(engine="fast", materialize=False)
     serial_s = time.perf_counter() - t0
     serial_rate = sample / serial_s
 
-    system = _build_fleet(n_objects, templates)
+    system = _build_fleet(n_objects, templates, factories=_mixed_factories())
     t0 = time.perf_counter()
     grouped_report = system.run(engine="auto", grouped=True, materialize=False)
     grouped_s = time.perf_counter() - t0
@@ -250,6 +261,7 @@ def run_fleet_bench(
         "templates": N_TEMPLATES,
         "m_per_object": TEMPLATE_M,
         "lambdas": list(FLEET_LAMBDAS),
+        "policies": ["la-oracle", "la-noisy", "conventional", "wang"],
         "workers": workers,
         "serial_sample": sample,
         "serial_s": serial_s,
@@ -286,7 +298,7 @@ def test_fleet_speedup(benchmark):
     # against a gross regression here
     assert report["split_speedup"] >= 0.5
 
-    system = _build_fleet(2_000, _templates())
+    system = _build_fleet(2_000, _templates(), factories=_mixed_factories())
     benchmark(
         lambda: system.run(engine="auto", grouped=True, materialize=False)
     )

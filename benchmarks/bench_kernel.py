@@ -11,6 +11,13 @@ always asserted bit for bit (and spot-checked against the scalar fast
 engine); wall-clock per cell and the kernel-over-batch speedup are
 recorded.
 
+Wang's baseline runs on the same trace through the kernel tier's
+cascade factorisation vs the batch tier (whose Wang path *is* the
+scalar ``_fast_wang`` heap replay), so ``wang_speedup`` measures the
+cascade kernel directly against the heap loop it replaced — with
+bit-identity against the fast engine asserted in-bench before the
+number is recorded.
+
 Standalone use (the CI smoke step runs this via ``repro bench``)::
 
     python benchmarks/bench_kernel.py [--out benchmarks/BENCH_kernel.json]
@@ -19,7 +26,8 @@ Standalone use (the CI smoke step runs this via ``repro bench``)::
 
 writes ``BENCH_kernel.json``:
 ``{"speedup": ..., "batch_s": ..., "kernel_s": ..., "per_cell_batch_ms":
-..., "per_cell_kernel_ms": ...}``.  The wall-clock gate (default
+..., "per_cell_kernel_ms": ..., "wang_batch_s": ..., "wang_kernel_s":
+..., "wang_speedup": ...}``.  The wall-clock gate (default
 :data:`MIN_SPEEDUP`, override with ``--gate``) only fails the process
 under ``--strict`` — CI runs the quick profile with ``--gate 1.0
 --strict`` (the kernel must beat batch even on a contended shared
@@ -45,6 +53,10 @@ FAST_CHECK_CELLS = 5
 #: (see BENCH_kernel.json)
 MIN_SPEEDUP = 5.0
 
+#: report key diffed against the committed BENCH_*.json history
+#: by the persistent regression gate (`repro bench --regress`)
+GATE_METRIC = "speedup"
+
 #: quick profile appended by `repro bench --quick` (the CI smoke step):
 #: a short trace and the CI gate handled by the step's own --gate
 QUICK_ARGS = ["--requests", "150000"]
@@ -68,6 +80,7 @@ def run_kernel_grid(requests: int = FULL_M, repeats: int | None = None) -> dict:
     policy construction, prediction materialisation, and the replay —
     for the whole 121-cell fig25 slab.
     """
+    from repro.algorithms.wang import WangReplication
     from repro.analysis.sweep import algorithm1_factory
     from repro.core.costs import CostModel
     from repro.core.engine import BatchCostEngine, FastCostEngine, KernelCostEngine
@@ -108,6 +121,25 @@ def run_kernel_grid(requests: int = FULL_M, repeats: int | None = None) -> dict:
         assert kernel_runs[idx].transfer_cost == f.transfer_cost, cell
         assert kernel_runs[idx].n_transfers == f.n_transfers, cell
 
+    # Wang's baseline: cascade kernel vs the scalar heap replay (the
+    # batch tier's Wang path is _fast_wang itself), identity vs the
+    # fast engine asserted before the speedup is recorded
+    best_wang_batch = best_wang_kernel = float("inf")
+    wang_kernel_run = wang_batch_run = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        wang_kernel_run = kernel.run(trace, model, WangReplication())
+        best_wang_kernel = min(best_wang_kernel, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        wang_batch_run = batch.run(trace, model, WangReplication())
+        best_wang_batch = min(best_wang_batch, time.perf_counter() - t0)
+    wang_fast_run = fast.run(trace, model, WangReplication())
+    for label, other in (("batch", wang_batch_run), ("fast", wang_fast_run)):
+        assert wang_kernel_run.storage_cost == other.storage_cost, label
+        assert wang_kernel_run.transfer_cost == other.transfer_cost, label
+        assert wang_kernel_run.n_transfers == other.n_transfers, label
+
     n_cells = len(cells)
     return {
         "grid": "fig25",
@@ -120,6 +152,9 @@ def run_kernel_grid(requests: int = FULL_M, repeats: int | None = None) -> dict:
         "per_cell_batch_ms": best_batch / n_cells * 1e3,
         "per_cell_kernel_ms": best_kernel / n_cells * 1e3,
         "speedup": best_batch / best_kernel,
+        "wang_batch_s": best_wang_batch,
+        "wang_kernel_s": best_wang_kernel,
+        "wang_speedup": best_wang_batch / best_wang_kernel,
     }
 
 
@@ -136,11 +171,16 @@ def test_kernel_speedup(benchmark, paper_trace):
         f"m={report['trace']['m']}: batch {report['batch_s']:.2f}s "
         f"({report['per_cell_batch_ms']:.1f}ms/cell)  kernel "
         f"{report['kernel_s']:.2f}s ({report['per_cell_kernel_ms']:.1f}"
-        f"ms/cell)  speedup {report['speedup']:.1f}x",
+        f"ms/cell)  speedup {report['speedup']:.1f}x  wang cascade "
+        f"{report['wang_speedup']:.1f}x over heap",
     )
     # the 5x bar is the full-size (1M) recorded number; at 100k the
-    # kernel must still clearly win
+    # kernel must still clearly win.  The Wang cascade's edge over the
+    # scalar heap replay grows with trace length (~1.2x at 30k, ~3x at
+    # 500k) because the chains build is a fixed cost — at 100k it only
+    # has to be not-slower
     assert report["speedup"] >= 2.0
+    assert report["wang_speedup"] >= 1.0
 
     # timed unit: the full fig25 slab on the paper-scale trace
     model = CostModel(lam=FIG25_LAMBDA, n=paper_trace.n)
@@ -170,7 +210,10 @@ def main(argv=None) -> int:
         f"({report['per_cell_batch_ms']:.1f}ms/cell), "
         f"kernel {report['kernel_s']:.2f}s "
         f"({report['per_cell_kernel_ms']:.1f}ms/cell), "
-        f"speedup {report['speedup']:.2f}x -> {out}"
+        f"speedup {report['speedup']:.2f}x; wang cascade "
+        f"{report['wang_kernel_s']:.2f}s vs heap "
+        f"{report['wang_batch_s']:.2f}s "
+        f"({report['wang_speedup']:.2f}x) -> {out}"
     )
     return gate_exit(report["speedup"], gate, strict, label="speedup")
 

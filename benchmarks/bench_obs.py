@@ -45,6 +45,10 @@ SMOKE_SEED = 0
 #: granularity (speedup = disabled / enabled)
 MIN_SPEEDUP = 0.98
 
+#: report key diffed against the committed BENCH_*.json history
+#: by the persistent regression gate (`repro bench --regress`)
+GATE_METRIC = "speedup"
+
 #: iterations for the guard micro-benchmark
 GUARD_ITERS = 1_000_000
 

@@ -52,6 +52,10 @@ REFERENCE_MAX_M = 2_000
 #: 121-cell fig25 grid the same comparison is ~5x, see BENCH_kernel.json)
 MIN_SPEEDUP = 2.0
 
+#: report key diffed against the committed BENCH_*.json history
+#: by the persistent regression gate (`repro bench --regress`)
+GATE_METRIC = "kernel_vs_batch_at_largest"
+
 #: quick profile appended by `repro bench --quick` (the CI smoke step)
 QUICK_ARGS = ["--sizes", "2000,20000,50000"]
 

@@ -43,6 +43,10 @@ BENCH_N = 10
 #: BENCH_trace.json), the default gate leaves headroom for noisy runners
 MIN_SPEEDUP = 10.0
 
+#: report key diffed against the committed BENCH_*.json history
+#: by the persistent regression gate (`repro bench --regress`)
+GATE_METRIC = "speedup"
+
 
 def _columns(m: int, n: int, seed: int = 0):
     rng = np.random.default_rng(seed)

@@ -53,3 +53,28 @@ def gate_exit(speedup: float, gate: float, strict: bool,
         )
         return 1 if strict else 0
     return 0
+
+
+def read_metric(path: str, metric: str) -> float | None:
+    """``metric`` from a ``BENCH_*.json`` report, or None when the file
+    or the key is missing/invalid (a fresh suite has no history yet).
+
+    The persistent-baseline half of ``repro bench --regress``: each
+    suite declares its gated metric as a module-level ``GATE_METRIC``
+    and the CLI diffs the fresh report against the committed history.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    value = report.get(metric)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def regressed(new: float, baseline: float, pct: float) -> bool:
+    """True when ``new`` fell more than ``pct`` percent below
+    ``baseline`` (improvements and small wobbles pass)."""
+    return new < baseline * (1.0 - pct / 100.0)

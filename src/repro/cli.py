@@ -31,7 +31,10 @@ Subcommands
     Discover and run the ``benchmarks/bench_*.py`` suites that expose a
     ``main()`` entry point — one invocation replaces the per-benchmark
     CI steps (``--gate``/``--strict`` thread through to every suite,
-    ``--quick`` applies each suite's declared smoke profile).
+    ``--quick`` applies each suite's declared smoke profile, and
+    ``--regress PCT`` diffs each suite's declared ``GATE_METRIC``
+    against the committed ``BENCH_*.json`` history, failing any suite
+    that fell more than PCT percent below its baseline).
 ``obs``
     Telemetry utilities: ``summary`` pretty-prints a metrics snapshot
     written by ``--metrics-out``.
@@ -279,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--quick", action="store_true",
                    help="apply each suite's declared QUICK_ARGS smoke "
                    "profile (the CI configuration)")
+    b.add_argument("--regress", type=float, default=None, metavar="PCT",
+                   help="persistent regression gate: fail any suite whose "
+                   "gated metric (its GATE_METRIC report key) falls more "
+                   "than PCT percent below the committed "
+                   "BENCH_<name>.json history in --dir; suites without a "
+                   "committed baseline or recorded metric pass with a note")
     _add_obs_flags(b)
 
     o = sub.add_parser("obs", help="telemetry snapshots: summary")
@@ -656,21 +665,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             sys.modules[spec.name] = module
             spec.loader.exec_module(module)
             argv: list[str] = []
+            out_path = os.path.join(bench_dir, f"BENCH_{name}.json")
             if args.out_dir:
                 os.makedirs(args.out_dir, exist_ok=True)
-                argv += [
-                    "--out", os.path.join(args.out_dir, f"BENCH_{name}.json")
-                ]
+                out_path = os.path.join(args.out_dir, f"BENCH_{name}.json")
+                argv += ["--out", out_path]
             if args.gate is not None:
                 argv += ["--gate", str(args.gate)]
             if args.strict:
                 argv.append("--strict")
             if args.quick:
                 argv += list(getattr(module, "QUICK_ARGS", ()))
+            metric = getattr(module, "GATE_METRIC", "speedup")
+            baseline = None
+            if args.regress is not None:
+                import benchcli  # sibling helper; bench_dir is on sys.path
+
+                # read the committed history BEFORE the suite runs —
+                # with --out-dir pointing at the bench dir, the fresh
+                # report overwrites the baseline file
+                baseline = benchcli.read_metric(
+                    os.path.join(bench_dir, f"BENCH_{name}.json"), metric
+                )
             print(f"=== bench {name} {' '.join(argv)}")
             code = module.main(argv)
             if code:
                 failed.append(name)
+            elif args.regress is not None:
+                import benchcli
+
+                new_value = benchcli.read_metric(out_path, metric)
+                if baseline is None or new_value is None:
+                    print(
+                        f"bench {name}: no committed {metric} history; "
+                        "regression gate skipped"
+                    )
+                elif benchcli.regressed(new_value, baseline, args.regress):
+                    print(
+                        f"FAIL: bench {name}: {metric} {new_value:.3f} is "
+                        f"more than {args.regress:g}% below the committed "
+                        f"baseline {baseline:.3f}",
+                        file=sys.stderr,
+                    )
+                    failed.append(name)
+                else:
+                    print(
+                        f"bench {name}: {metric} {new_value:.3f} vs "
+                        f"committed {baseline:.3f} (within "
+                        f"{args.regress:g}%)"
+                    )
     finally:
         if inserted:
             try:

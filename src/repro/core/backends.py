@@ -30,11 +30,24 @@ keeps every backend bit-identical to the numpy reference:
   scratch workspace is thread-local and its shift memo is lock-guarded
   (see ``core/engine.py``).
 - ``numba``   — optional ``@njit(nogil=True, cache=True)`` fused loops
-  for the two sequential reductions and the two-stream expiry merge.
-  The compiled loops replay the exact same IEEE op order (left-to-right
-  adds; two-pointer merge with the same tie semantics), so they are
-  bit-identical.  When numba is not importable the backend silently falls
-  back to the numpy primitives — same results, no hard dependency.
+  for the two sequential reductions, the two-stream expiry merge, and
+  the Wang cascade episode machine.  The compiled loops replay the
+  exact same IEEE op order (left-to-right adds; two-pointer merge with
+  the same tie semantics), so they are bit-identical.  When numba is
+  not importable the backend silently falls back to the numpy
+  primitives — same results, no hard dependency.
+
+Besides the reductions, the primitives carry one *sequential episode
+machine*: ``wang_cascade``, the scalar core of the kernel tier's Wang
+baseline (``core/engine.py`` :class:`_WangReplay`).  The vectorized
+candidate pass resolves every copy whose expiry finds other copies
+alive; ``wang_cascade`` replays only the rare die-out episodes (grace
+extensions, second-expiry shipments to server 0, locally-served flips)
+plus the drain's heap order, walking candidates in the scalar heap's
+``(when, server)`` pop order.  At most one injected extension is alive
+at a time, so the machine is O(episodes), not O(m) — it is a loop by
+necessity (each episode's outcome gates the next), which is exactly why
+it lives here where the numba backend can compile it.
 
 Crossovers (measured, see ``benchmarks/bench_backends.py``)
 -----------------------------------------------------------
@@ -133,18 +146,26 @@ class KernelPrimitives:
     of IEEE additions; ``merge_interleave`` must interleave two
     expiry-sorted streams with within-first-on-tie *detection* (returning
     ``None`` on any cross-stream tie so the caller can take the stable
-    lexsort fallback).  Any implementation honoring those contracts is
-    bit-identical to numpy's.
+    lexsort fallback); ``wang_cascade`` resolves the Wang baseline's
+    die-out episodes and drain with the event-machine loop
+    (:func:`_wang_cascade_loop` — the same integer/float op sequence
+    whether interpreted or compiled).  Any implementation honoring those
+    contracts is bit-identical to numpy's.
     """
 
-    __slots__ = ("name", "compiled", "seq_sum", "repeat_add", "merge_interleave")
+    __slots__ = (
+        "name", "compiled", "seq_sum", "repeat_add", "merge_interleave",
+        "wang_cascade",
+    )
 
-    def __init__(self, name, compiled, seq_sum, repeat_add, merge_interleave):
+    def __init__(self, name, compiled, seq_sum, repeat_add, merge_interleave,
+                 wang_cascade=None):
         self.name = name
         self.compiled = compiled
         self.seq_sum = seq_sum
         self.repeat_add = repeat_add
         self.merge_interleave = merge_interleave
+        self.wang_cascade = wang_cascade or _wang_cascade_loop
 
 
 def _np_seq_sum(vals: np.ndarray) -> float:
@@ -182,8 +203,293 @@ def _np_merge_interleave(dw, ew, db, eb):
     return out, exp
 
 
+def _wang_cascade_loop(
+    t_all,        # float64[m+1]  dummy-prefixed request times (strictly increasing)
+    periods,      # float64[n]    per-server renewal periods lam / mu_s
+    cand_e,       # float64[nc]   mid-trace expiry fires, (E, server)-sorted
+    cand_srv,     # int64[nc]
+    cand_ev,      # int64[nc]     event whose pop phase delivers the fire
+    cand_start,   # float64[nc]   segment start behind each fire
+    trig_pos,     # int64[nt]     candidate ranks with baseline others == 0
+    srv_off,      # int64[n+1]    CSR offsets into srv_req (requests by server)
+    srv_req,      # int64[m+1]    request indices grouped by server, ascending
+    r_cum,        # int64[m+1]    cumulative baseline renewal serves per event
+    tail_when,    # float64[nt2]  end-of-trace pending expiries, sorted
+    tail_srv,     # int64[nt2]
+    tail_start,   # float64[nt2]
+    m,            # int64         number of real requests
+    do_drain,     # bool
+    cap,          # int64         drain event cap
+):
+    """Sequential episode machine behind the kernel-tier Wang replay.
+
+    Everything array-parallel about Wang lives in ``core/engine.py``;
+    this loop resolves only what is irreducibly sequential — the rare
+    die-out *episodes* (an only-copy expiry renews in place instead of
+    dropping, so coverage extends beyond the baseline segment) and the
+    post-trace drain.  At most one such injected extension exists at a
+    time, so the machine walks the trigger candidates and the injected
+    copy's own events in global ``(when, server)`` order, emitting the
+    corrections the vectorized pass cannot know: suppressed drops,
+    miss->renewal flips, cascade transfer/drop charges, and the final
+    alive set.  Plain python and ``@njit`` execute the identical
+    int/float op sequence, so both are bit-identical.
+    """
+    inf = np.inf
+    nc = cand_e.shape[0]
+    nt = trig_pos.shape[0]
+    n = periods.shape[0]
+
+    trig_suppress = np.zeros(nt, dtype=np.bool_)
+    ep_cap = 2 * nt + 2
+    ep_when = np.empty(ep_cap, dtype=np.float64)
+    ep_srv = np.empty(ep_cap, dtype=np.int64)
+    ep_start = np.empty(ep_cap, dtype=np.float64)
+    ep_ev = np.empty(ep_cap, dtype=np.int64)
+    n_ep = 0
+    flip_req = np.empty(nt + 1, dtype=np.int64)
+    flip_start = np.empty(nt + 1, dtype=np.float64)
+    n_flips = 0
+    n_tx_casc = 0
+
+    inj_alive = False
+    inj_srv = 0
+    inj_start = 0.0
+    inj_pend = 0.0
+    inj_flag = False       # Wang's renewed_once grace flag for the holder
+    inj_ev = np.int64(-1)  # >= 0: cascade-created at that event's pop phase
+    inj_nr = m + 1         # holder's next request index (m+1: none)
+
+    ti = 0
+    do_step = False
+    fire_w = 0.0
+    ib = np.int64(0)
+    while True:
+        if do_step:
+            # Only-copy fire at (fire_w, holder) inside the request gap
+            # ending at event ib: replay Wang's expire() only-copy arm,
+            # chaining every further fire strictly before t_all[ib].
+            tb = t_all[ib]
+            if inj_srv == 0:
+                p0 = periods[0]
+                w2 = fire_w + p0
+                while w2 < tb:
+                    w2 = w2 + p0
+                inj_pend = w2
+            else:
+                transfer = True
+                if not inj_flag:
+                    pd = fire_w + periods[inj_srv]   # free renewal (grace)
+                    if pd >= tb:
+                        inj_pend = pd
+                        inj_flag = True
+                        transfer = False
+                    else:
+                        fire_w = pd   # second consecutive expiry in-gap
+                if transfer:
+                    # ship to server 0: charge + drop the source, create
+                    # at 0, then chain 0's free renewals through the gap
+                    ep_when[n_ep] = fire_w
+                    ep_srv[n_ep] = inj_srv
+                    ep_start[n_ep] = inj_start
+                    ep_ev[n_ep] = ib
+                    n_ep += 1
+                    n_tx_casc += 1
+                    inj_srv = 0
+                    inj_start = fire_w
+                    inj_ev = ib
+                    inj_flag = False
+                    p0 = periods[0]
+                    w2 = fire_w + p0
+                    while w2 < tb:
+                        w2 = w2 + p0
+                    inj_pend = w2
+            inj_alive = True
+            lo = srv_off[inj_srv]
+            hi = srv_off[inj_srv + 1]
+            k = lo + np.searchsorted(srv_req[lo:hi], ib)
+            inj_nr = srv_req[k] if k < hi else m + 1
+            do_step = False
+            continue
+        if not inj_alive:
+            if ti >= nt:
+                break
+            r = trig_pos[ti]
+            # a genuine die-out: the fire renews in place (episode)
+            trig_suppress[ti] = True
+            ti += 1
+            inj_srv = cand_srv[r]
+            inj_start = cand_start[r]
+            inj_flag = False
+            inj_ev = np.int64(-1)
+            fire_w = cand_e[r]
+            ib = cand_ev[r]
+            do_step = True
+            continue
+        # injected copy alive: resolve its next event against the next
+        # trigger candidate in global (when, server) order
+        t_nr = t_all[inj_nr] if inj_nr <= m else inf
+        if ti < nt:
+            rc = trig_pos[ti]
+            ce = cand_e[rc]
+            cs = cand_srv[rc]
+        else:
+            ce = inf
+            cs = 0
+        if t_nr <= inj_pend:
+            # the holder's next request serves before the pending expiry
+            if ce < t_nr:
+                ti += 1      # candidate pops first: injected covers it
+                continue
+            flip_req[n_flips] = inj_nr      # baseline miss -> renewal
+            flip_start[n_flips] = inj_start
+            n_flips += 1
+            inj_alive = False
+            continue
+        if ce < inj_pend or (ce == inj_pend and cs < inj_srv):
+            ti += 1          # candidate pops first: injected covers it
+            continue
+        # the injected copy's own expiry fires next
+        ip = np.searchsorted(t_all, inj_pend, side="right")
+        if ip > m:
+            # fires after the last request: any remaining trigger
+            # candidates pop mid-trace, hence under injected coverage
+            ti = nt
+            break
+        lo = np.searchsorted(cand_e, inj_pend)
+        while lo < nc and cand_e[lo] == inj_pend and cand_srv[lo] < inj_srv:
+            lo += 1
+        others = ip - r_cum[ip - 1] - lo    # baseline copies alive here
+        if others >= 1:
+            ep_when[n_ep] = inj_pend
+            ep_srv[n_ep] = inj_srv
+            ep_start[n_ep] = inj_start
+            ep_ev[n_ep] = ip
+            n_ep += 1
+            inj_alive = False
+            continue
+        fire_w = inj_pend
+        ib = ip
+        do_step = True
+
+    # ------------------------------------------------------------------
+    # drain: the scalar heap shrunk to one pending expiry per server
+    alive = np.zeros(n, dtype=np.bool_)
+    a_start = np.zeros(n, dtype=np.float64)
+    a_pend = np.zeros(n, dtype=np.float64)
+    a_has = np.zeros(n, dtype=np.bool_)
+    a_flag = np.zeros(n, dtype=np.bool_)
+    a_kind = np.zeros(n, dtype=np.int64)
+    a_ev = np.zeros(n, dtype=np.int64)
+    alive_cnt = 0
+    for k in range(tail_srv.shape[0]):
+        s = tail_srv[k]
+        alive[s] = True
+        a_start[s] = tail_start[k]
+        a_pend[s] = tail_when[k]
+        a_has[s] = True
+        alive_cnt += 1
+    if inj_alive:
+        s = inj_srv
+        alive[s] = True
+        a_start[s] = inj_start
+        a_pend[s] = inj_pend
+        a_has[s] = True
+        a_flag[s] = inj_flag
+        if inj_ev >= 0:
+            a_kind[s] = 1
+            a_ev[s] = inj_ev
+        alive_cnt += 1
+    dr_cap = n + 4
+    dr_when = np.empty(dr_cap, dtype=np.float64)
+    dr_srv = np.empty(dr_cap, dtype=np.int64)
+    dr_start = np.empty(dr_cap, dtype=np.float64)
+    n_dr = 0
+    seq = 0
+    if do_drain:
+        fired = 0
+        while fired < cap:
+            best = -1
+            bw = inf
+            for s in range(n):   # ascending scan: (when, server) heap order
+                if a_has[s] and a_pend[s] < bw:
+                    bw = a_pend[s]
+                    best = s
+            if best < 0:
+                break
+            a_has[best] = False
+            if bw == inf:
+                continue         # popped but never fires; copy stays live
+            only = alive_cnt == 1
+            if best == 0:
+                if only:
+                    a_pend[0] = bw + periods[0]    # free renewal chain
+                    a_has[0] = True
+                else:
+                    dr_when[n_dr] = bw
+                    dr_srv[n_dr] = 0
+                    dr_start[n_dr] = a_start[0]
+                    n_dr += 1
+                    alive[0] = False
+                    alive_cnt -= 1
+                fired += 1
+            else:
+                if not only:
+                    dr_when[n_dr] = bw
+                    dr_srv[n_dr] = best
+                    dr_start[n_dr] = a_start[best]
+                    n_dr += 1
+                    alive[best] = False
+                    alive_cnt -= 1
+                elif not a_flag[best]:
+                    a_flag[best] = True                # grace renewal
+                    a_pend[best] = bw + periods[best]
+                    a_has[best] = True
+                else:
+                    # second consecutive expiry: ship to server 0
+                    n_tx_casc += 1
+                    alive[0] = True
+                    a_start[0] = bw
+                    a_kind[0] = 2
+                    a_ev[0] = seq
+                    seq += 1
+                    a_flag[0] = False
+                    dr_when[n_dr] = bw
+                    dr_srv[n_dr] = best
+                    dr_start[n_dr] = a_start[best]
+                    n_dr += 1
+                    alive[best] = False
+                    a_flag[best] = False
+                    a_pend[0] = bw + periods[0]
+                    a_has[0] = True
+                fired += 1
+
+    fin_srv = np.empty(n + 1, dtype=np.int64)
+    fin_start = np.empty(n + 1, dtype=np.float64)
+    fin_kind = np.empty(n + 1, dtype=np.int64)
+    fin_ev = np.empty(n + 1, dtype=np.int64)
+    n_fin = 0
+    for s in range(n):
+        if alive[s]:
+            fin_srv[n_fin] = s
+            fin_start[n_fin] = a_start[s]
+            fin_kind[n_fin] = a_kind[s]
+            fin_ev[n_fin] = a_ev[s]
+            n_fin += 1
+
+    return (
+        trig_suppress,
+        ep_when[:n_ep], ep_srv[:n_ep], ep_start[:n_ep], ep_ev[:n_ep],
+        flip_req[:n_flips], flip_start[:n_flips],
+        n_tx_casc,
+        dr_when[:n_dr], dr_srv[:n_dr], dr_start[:n_dr],
+        fin_srv[:n_fin], fin_start[:n_fin], fin_kind[:n_fin], fin_ev[:n_fin],
+    )
+
+
 NUMPY_PRIMS = KernelPrimitives(
-    "numpy", False, _np_seq_sum, _np_repeat_add, _np_merge_interleave
+    "numpy", False, _np_seq_sum, _np_repeat_add, _np_merge_interleave,
+    _wang_cascade_loop,
 )
 
 
@@ -282,6 +588,7 @@ def _build_numba_prims() -> KernelPrimitives:
         nb_seq = jit(_seq_sum_loop)
         nb_rep = jit(_repeat_add_loop)
         nb_merge = jit(_merge_loop)
+        nb_wang = jit(_wang_cascade_loop)
 
         def seq_sum(vals):
             return float(nb_seq(vals))
@@ -293,7 +600,26 @@ def _build_numba_prims() -> KernelPrimitives:
             out, exp, tie = nb_merge(dw, ew, db, eb)
             return None if tie else (out, exp)
 
-        return KernelPrimitives("numba", True, seq_sum, repeat_add, merge_interleave)
+        # njit compiles lazily at first call; a typing failure there must
+        # degrade to the interpreted loop (bit-identical by contract)
+        # rather than poison every Wang replay on this box
+        state = {"fn": None}
+
+        def wang_cascade(*args):
+            fn = state["fn"]
+            if fn is None:
+                try:
+                    out = nb_wang(*args)
+                    state["fn"] = nb_wang
+                    return out
+                except Exception:
+                    state["fn"] = _wang_cascade_loop
+                    return _wang_cascade_loop(*args)
+            return fn(*args)
+
+        return KernelPrimitives(
+            "numba", True, seq_sum, repeat_add, merge_interleave, wang_cascade
+        )
     except Exception:
         # Broken numba install (missing llvmlite, unsupported platform):
         # degrade to numpy rather than poisoning every kernel call.

@@ -165,12 +165,35 @@ therefore bit-identical to :class:`FastCostEngine` (and the reference
 simulator) for every ``supports()``-eligible policy, and the test
 suite pins this across every registered scenario.
 
-Wang's baseline is deliberately *not* kernel-eligible: its drop cascade
-(``renewed_once`` flags, second-consecutive-expiry shipping to server
-0) makes each server's next expiry depend on the global alive set at
-the previous expiry, which resists the segmented formulation; rather
-than approximate it, :meth:`KernelCostEngine.supports` returns False
-and ``select_engine`` keeps Wang on the fast/batch tiers.
+Wang's baseline rides the same tier through a *cascade factorisation*
+(:class:`_WangReplay`).  Its drop cascade (``renewed_once`` flags,
+second-consecutive-expiry shipping to server 0) couples each server's
+next expiry to the global alive set, so the pure segmented formulation
+above does not apply directly — but the coupling is sparse.  With the
+fixed periods ``lam / rate[s]``, the *baseline* expiry column ``E[q] =
+t[q] + period[server[q]]`` is exact for every copy created by a serve
+(the overwhelming majority): renewals are again ``succ <= reach``, and
+the renewal prefix-count ``r_cum`` turns "how many other copies are
+alive at expiry ``E[q]``" into pure arithmetic over the candidates
+sorted by the scalar heap's ``(E, server)`` pop key.  A candidate with
+at least one other copy alive is an unconditional drop (its grace flag
+was reset by the serve that created it); only the rare *die-out
+triggers* — candidates that expire last — enter the sequential cascade.
+There, at most **one** injected extension (the grace reschedule of the
+only surviving copy) is alive at a time, so a compact episode machine
+(:func:`repro.core.backends.KernelPrimitives.wang_cascade`) replays
+just those episodes: grace extensions, second-expiry shipments to
+server 0 (``transfer += lam`` with the dict-append segment on server
+0), and *flips* — injected copies served locally, which convert a
+predicted miss back into a renewal with an overridden segment start.
+Everything downstream (charge values, the pop/serve counting
+interleave, drain and finalize order, ``seq_sum`` / ``repeat_add``
+reductions) reuses the machinery above, so kernel Wang is bit-identical
+to ``_fast_wang``'s heap replay — the tests pin this across every
+registered scenario, tie-prone hypothesis instances, and all execution
+backends.  ``supports()`` therefore carries **no policy exclusions**:
+heterogeneous Algorithm-1 + Wang fleets run as single-tier kernel
+slabs (see :func:`run_policy_slab`).
 
 Selection: the kernel's fixed overhead (a handful of array allocations
 and one shared per-server sort) loses to the fast engine's lean scalar
@@ -1163,6 +1186,7 @@ class _SegmentChains:
         "m", "m1", "n", "t_m", "t_all", "j_all", "order", "same",
         "succ", "prev", "prev_clip", "prev_ok", "lastq", "idx1",
         "arange0", "idx_dtype", "_shifts", "_shift_lock", "_tls",
+        "_csr", "_wangs", "_wang_lock",
     )
 
     def __init__(self, trace: Trace):
@@ -1199,6 +1223,9 @@ class _SegmentChains:
         self._shifts: dict[float, _Shift] = {}
         self._shift_lock = threading.Lock()
         self._tls = threading.local()
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._wangs: dict[tuple, "_WangReplay"] = {}
+        self._wang_lock = threading.Lock()
 
     def workspace(self) -> "_KernelWorkspace":
         """This thread's scratch workspace (created on first use).
@@ -1229,6 +1256,33 @@ class _SegmentChains:
             new = _Shift(self, duration)   # built outside the lock
             with self._shift_lock:
                 hit = self._shifts.setdefault(duration, new)
+        return hit
+
+    def server_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(offsets, requests)`` CSR of request indices grouped by
+        server (ascending within each group) — the Wang machine's
+        next-local-request lookups.  Idempotent, so a build race simply
+        discards a duplicate."""
+        csr = self._csr
+        if csr is None:
+            req = self.order.astype(np.int64)
+            off = np.searchsorted(
+                self.j_all[self.order], np.arange(self.n + 1)
+            ).astype(np.int64)
+            csr = (off, req)
+            self._csr = csr
+        return csr
+
+    def wang(self, lam: float, rates: tuple) -> "_WangReplay":
+        """The Wang-baseline replay bundle for one ``(lam, rates)``,
+        memoised like the shifts: a fleet slab's equal-model Wang cells
+        share one vectorized replay instead of one scalar pass each."""
+        key = (lam, rates)
+        hit = self._wangs.get(key)     # lock-free fast path
+        if hit is None:
+            new = _WangReplay(self, lam, rates)
+            with self._wang_lock:
+                hit = self._wangs.setdefault(key, new)
         return hit
 
 
@@ -1568,16 +1622,235 @@ def _kernel_algorithm1(
     return storage, transfer, n_tx
 
 
+class _WangReplay:
+    """Per-``(trace, lam, rates)`` Wang-baseline precompute and replay.
+
+    The cascade is state-dependent, but its *segment structure* is not:
+    a copy only ever dies at its own pending expiry, so the baseline
+    expiry column ``E[q] = t[q] + period[server(q)]`` and its
+    ``searchsorted`` reach are exact (renewal iff the next local request
+    lands inside them — no false positives, and false negatives only at
+    the rare die-out extensions).  Coverage *counts* at every candidate
+    expiry then come from pure counting sums — segments started minus
+    renewal-closed minus expiry-closed — because cascade extensions only
+    ever add coverage, a candidate with a positive baseline count drops
+    unconditionally.  Only candidates whose baseline count is zero (die
+    outs) go through the sequential episode machine
+    (``prims.wang_cascade``), which tracks the single injected extension
+    a cascade can keep alive at a time.  See the module DESIGN docstring
+    for the bit-identity argument.
+    """
+
+    __slots__ = (
+        "chains", "lam", "rates_arr", "periods", "req_renew", "r_cum",
+        "cand_e", "cand_srv", "cand_ev", "cand_start", "trig_pos",
+        "tail_when", "tail_srv", "tail_start", "_results", "_lock",
+    )
+
+    def __init__(self, chains: _SegmentChains, lam: float, rates: tuple):
+        m, m1 = chains.m, chains.m1
+        t_all, j_all, succ = chains.t_all, chains.j_all, chains.succ
+        self.chains = chains
+        self.lam = lam
+        self.rates_arr = np.asarray(rates, dtype=np.float64)
+        # the scalar path's per-server divisions, one by one
+        periods = np.array([lam / r for r in rates], dtype=np.float64)
+        self.periods = periods
+        # the exact IEEE add behind schedule(j, t + periods[j]); the
+        # dummy's 0.0 + p_0 is bitwise p_0, matching schedule(0, p_0)
+        E = t_all + periods[j_all]
+        reach = np.searchsorted(t_all, E, side="right") - 1
+        renew = succ <= reach
+        req_renew = np.zeros(m1, dtype=bool)
+        np.logical_and(renew[chains.prev_clip], chains.prev_ok,
+                       out=req_renew[1:])
+        self.req_renew = req_renew
+        self.r_cum = np.cumsum(req_renew)
+        # mid-trace expiry fires in (E, server) order — the heap's pop
+        # order (per-server streams are sorted, ties break by server)
+        ci = np.flatnonzero(~renew & (reach < m))
+        oc = np.lexsort((j_all[ci], E[ci]))
+        cand = ci[oc]
+        self.cand_e = E[cand]
+        self.cand_srv = j_all[cand].astype(np.int64)
+        self.cand_ev = reach[cand].astype(np.int64) + 1
+        self.cand_start = t_all[cand]
+        # baseline copies alive at each fire, *excluding* the firing
+        # copy: segments started before the pop event, minus renewal
+        # closes, minus the earlier fires (each ended a segment — a die
+        # out's extension is accounted by the episode machine)
+        cnt = (
+            self.cand_ev
+            - self.r_cum[self.cand_ev - 1]
+            - np.arange(cand.size, dtype=np.int64)
+            - 1
+        )
+        assert cnt.size == 0 or cnt.min() >= 0
+        self.trig_pos = np.flatnonzero(cnt == 0)
+        # pending expiries that outlive the last request (one per
+        # server: non-last segments with reach >= m would be renewals)
+        lastq = chains.lastq
+        tl = lastq[reach[lastq] >= m]
+        tl = tl[np.lexsort((j_all[tl], E[tl]))]
+        self.tail_when = E[tl]
+        self.tail_srv = j_all[tl].astype(np.int64)
+        self.tail_start = t_all[tl]
+        self._results: dict[tuple, tuple[float, float, int]] = {}
+        self._lock = threading.Lock()
+
+    def result(
+        self, drain: bool, cap: int | None, prims: KernelPrimitives
+    ) -> tuple[float, float, int]:
+        """Memoised replay: Wang is prediction- and alpha-free, so every
+        same-model cell of a slab shares one replay (results are
+        backend-invariant by the primitives contract)."""
+        key = (bool(drain), cap)
+        hit = self._results.get(key)
+        if hit is None:
+            new = self._replay(drain, cap, prims)
+            with self._lock:
+                hit = self._results.setdefault(key, new)
+        return hit
+
+    def _replay(
+        self, drain: bool, cap: int | None, prims: KernelPrimitives
+    ) -> tuple[float, float, int]:
+        chains = self.chains
+        m, m1, t_m = chains.m, chains.m1, chains.t_m
+        t_all, j_all = chains.t_all, chains.j_all
+        rates = self.rates_arr
+        srv_off, srv_req = chains.server_csr()
+        cap_v = cap if cap is not None else 4 * chains.n + 16
+        (
+            suppress,
+            ep_when, ep_srv, ep_start, ep_ev,
+            flip_req, flip_start,
+            n_tx_casc,
+            dr_when, dr_srv, dr_start,
+            fin_srv, fin_start, fin_kind, fin_ev,
+        ) = prims.wang_cascade(
+            t_all, self.periods,
+            self.cand_e, self.cand_srv, self.cand_ev, self.cand_start,
+            self.trig_pos, srv_off, srv_req, self.r_cum,
+            self.tail_when, self.tail_srv, self.tail_start,
+            m, bool(drain), int(cap_v),
+        )
+
+        # pop-phase charges: every fire drops except the suppressed
+        # die-out triggers; episode charges (cascade transfer drops and
+        # injected-extension drops) interleave by (when, server)
+        keep = np.ones(self.cand_e.size, dtype=bool)
+        keep[self.trig_pos[suppress]] = False
+        pw = self.cand_e[keep]
+        ps = self.cand_srv[keep]
+        pst = self.cand_start[keep]
+        pev = self.cand_ev[keep]
+        if ep_when.size:
+            pw = np.concatenate((pw, ep_when))
+            ps = np.concatenate((ps, ep_srv))
+            pst = np.concatenate((pst, ep_start))
+            pev = np.concatenate((pev, ep_ev))
+            o = np.lexsort((ps, pw))
+            pw, ps, pst, pev = pw[o], ps[o], pst[o], pev[o]
+
+        # serve-phase charges: baseline renewals plus the machine's
+        # miss->renewal flips (a die-out extension served locally); a
+        # flip's closed segment starts where the extension started
+        serve_mask = self.req_renew
+        if flip_req.size:
+            serve_mask = serve_mask.copy()
+            serve_mask[flip_req] = True
+        serve_pos = np.flatnonzero(serve_mask)
+        start_srv = t_all[chains.prev[serve_pos]]
+        if flip_req.size:
+            start_srv[np.searchsorted(serve_pos, flip_req)] = flip_start
+
+        # the same counting interleave as _kernel_algorithm1: within an
+        # event, pops precede the serve charge; drain then finalize last
+        S = np.cumsum(serve_mask)
+        n_pop = pw.size
+        n_srv = serve_pos.size
+        pos_pop = S[pev - 1] + np.arange(n_pop, dtype=np.int64)
+        pos_srv = np.searchsorted(pev, serve_pos, side="right") + np.arange(
+            n_srv, dtype=np.int64
+        )
+
+        # finalize walk in dict-insertion order: a live copy sits at the
+        # slot of its creating event — the server's last true miss, a
+        # mid-trace cascade create's pop phase, or a drain create
+        n_fin = fin_srv.size
+        if n_fin:
+            miss = np.logical_not(serve_mask)
+            miss[0] = True                 # the dummy creates at server 0
+            ords = np.empty(n_fin, dtype=np.int64)
+            for k in range(n_fin):
+                kind = fin_kind[k]
+                if kind == 0:
+                    rk = srv_req[srv_off[fin_srv[k]]:srv_off[fin_srv[k] + 1]]
+                    mk = np.flatnonzero(miss[rk])
+                    ords[k] = 2 * rk[mk[-1]] + 1
+                elif kind == 1:
+                    ords[k] = 2 * fin_ev[k]
+                else:
+                    ords[k] = 2 * (m + 2) + fin_ev[k]
+            fo = np.argsort(ords, kind="stable")
+            fin_srv = fin_srv[fo]
+            fin_start = fin_start[fo]
+
+        # every slot interval is charged exactly once: m + 1 creates-or-
+        # renewals plus one extra interval per cascade create at server 0
+        n_dr = dr_when.size
+        total = n_pop + n_srv + n_dr + n_fin
+        assert total == m1 + n_tx_casc
+        vals = np.empty(total)
+        vals[pos_pop] = (pw - pst) * rates[ps]
+        vals[pos_srv] = (t_all[serve_pos] - start_srv) * rates[
+            j_all[serve_pos]
+        ]
+        if n_dr:
+            vals[n_pop + n_srv : n_pop + n_srv + n_dr] = (
+                np.minimum(dr_when, t_m) - np.minimum(dr_start, t_m)
+            ) * rates[dr_srv]
+        if n_fin:
+            vals[total - n_fin :] = (t_m - np.minimum(fin_start, t_m)) * rates[
+                fin_srv
+            ]
+        storage = prims.seq_sum(vals)
+        # transfers: one lam per true miss plus one per cascade ship —
+        # identical addends, so one left-to-right chain matches any
+        # chronological interleave bit for bit
+        n_tx = (m - n_srv) + int(n_tx_casc)
+        transfer = prims.repeat_add(self.lam, n_tx)
+        return storage, transfer, n_tx
+
+
+def _kernel_wang(
+    chains: _SegmentChains,
+    model: CostModel,
+    drain: bool,
+    drain_event_cap: int | None,
+    prims: KernelPrimitives = NUMPY_PRIMS,
+) -> tuple[float, float, int]:
+    """Replay the Wang et al. baseline with array passes plus the
+    sequential episode machine; bit-identical to ``_fast_wang(trace,
+    model, drain, drain_event_cap)`` on the trace behind ``chains``."""
+    rates = tuple(float(r) for r in model.storage_rates)
+    rep = chains.wang(float(model.lam), rates)
+    return rep.result(drain, drain_event_cap, prims)
+
+
 class KernelCostEngine(Engine):
     """Cost-only segment-scan replay: pure array passes, no per-request
     Python loop.
 
-    Eligibility is the fast path's minus Wang's baseline (its drop
-    cascade resists the segmented formulation; see the module DESIGN
-    docstring).  Costs are bit-identical to :class:`FastCostEngine` for
-    every supported ``(policy, trace)``.  The scalar :meth:`run`
-    interface evaluates one cell; :meth:`run_slab` shares the per-trace
-    chains and per-duration reach arrays across a whole slab.
+    Eligibility is exactly the fast path's: Algorithm 1 rides the
+    segment scan of PR 5 and Wang's baseline rides the candidate-count
+    formulation plus the sequential episode machine (see the module
+    DESIGN docstring for both bit-identity arguments).  Costs are
+    bit-identical to :class:`FastCostEngine` for every supported
+    ``(policy, trace)``.  The scalar :meth:`run` interface evaluates one
+    cell; :meth:`run_slab` shares the per-trace chains and per-duration
+    reach arrays across a whole slab.
 
     ``backend`` picks the execution backend for the kernel passes
     (``core/backends.py``): ``None`` defers to the
@@ -1605,16 +1878,18 @@ class KernelCostEngine(Engine):
     ) -> bool:
         from ..algorithms.conventional import ConventionalReplication
         from ..algorithms.learning_augmented import LearningAugmentedReplication
+        from ..algorithms.wang import WangReplication
         from ..predictions.stream import PredictionStream
 
         kind = type(policy)
+        if kind is WangReplication:
+            return _wang_rates_ok(model)
         if kind is ConventionalReplication:
             return model.uniform_storage
         if kind is LearningAugmentedReplication:
             if not model.uniform_storage:
                 return False
             return PredictionStream.supports_predictor(policy.predictor, trace)
-        # WangReplication deliberately excluded: cross-server coupling
         return False
 
     def run(
@@ -1627,10 +1902,34 @@ class KernelCostEngine(Engine):
     ) -> CostResult:
         from ..algorithms.conventional import ConventionalReplication
         from ..algorithms.learning_augmented import LearningAugmentedReplication
+        from ..algorithms.wang import WangReplication
 
         if model.n != trace.n:
             raise ValueError(f"model.n={model.n} != trace.n={trace.n}")
         kind = type(policy)
+        if kind is WangReplication:
+            if not _wang_rates_ok(model):
+                raise PolicyError(
+                    "WangReplication requires servers indexed by ascending "
+                    "storage rate (mu(s_0) <= ... <= mu(s_{n-1}))"
+                )
+            chains = _SegmentChains(trace)
+            storage, transfer, n_tx = _kernel_wang(
+                chains,
+                model,
+                drain,
+                drain_event_cap,
+                self.backend_for(1, chains.m).prims(),
+            )
+            return CostResult(
+                trace=trace,
+                model=model,
+                policy_name=policy.name,
+                storage_cost=storage,
+                transfer_cost=transfer,
+                n_transfers=n_tx,
+                engine="kernel",
+            )
         if kind not in (ConventionalReplication, LearningAugmentedReplication):
             raise EngineError(
                 f"KernelCostEngine does not support {kind.__name__}; "
@@ -1708,28 +2007,44 @@ class KernelCostEngine(Engine):
         cells: Sequence[SlabCell],
         policies: list[ReplicationPolicy] | None = None,
     ):
-        """A batch-tier slab plan restricted to kernel-eligible slabs
-        (Wang slabs, whose plans carry no predictors, are rejected)."""
-        plan = _ENGINES["batch"]._slab_plan(
+        """A batch-tier slab plan: kernel eligibility is now exactly the
+        batch tier's (Wang slabs carry no predictors and replay through
+        the cascade kernel instead of the prediction matrix)."""
+        return _ENGINES["batch"]._slab_plan(
             trace, model, factory, cells, policies=policies
         )
-        if plan is None or not plan[1]:
-            return None
-        return plan
 
     def _run_plan(self, trace: Trace, model: CostModel, plan) -> list[CostResult]:
         from ..predictions.stream import PredictionStream
 
         policies, preds = plan
+        chains = _SegmentChains(trace)
+        backend = self.backend_for(len(policies), chains.m)
+        prims = backend.prims()
+        if not preds:
+            # a Wang slab: prediction- and alpha-free, so one cascade
+            # replay (memoised on the chains) serves every cell
+            storage, transfer, n_tx = _kernel_wang(
+                chains, model, True, None, prims
+            )
+            return [
+                CostResult(
+                    trace=trace,
+                    model=model,
+                    policy_name=p.name,
+                    storage_cost=storage,
+                    transfer_cost=transfer,
+                    n_transfers=n_tx,
+                    engine="kernel",
+                )
+                for p in policies
+            ]
         matrix = PredictionStream.batch_for_predictors(
             preds, trace, model.lam, cell_major=True
         )
         assert matrix is not None  # vetted by _slab_plan
-        chains = _SegmentChains(trace)
         rate = model.storage_rates[0]
         lam = model.lam
-        backend = self.backend_for(len(policies), chains.m)
-        prims = backend.prims()
 
         def _one(c: int) -> tuple[float, float, int]:
             return _kernel_algorithm1(
@@ -1768,8 +2083,8 @@ def run_slab(
     ``engine`` ``"auto"``, ``"kernel"``, or ``"batch"`` the whole slab
     runs vectorized whenever every cell is eligible — ``"auto"``
     prefers the loop-free kernel above :data:`KERNEL_SLAB_MIN_M`
-    requests (Wang slabs stay on the batch tier) and the batch engine's
-    single shared trace pass below it; otherwise — a concrete engine
+    requests (Wang slabs included, via the cascade kernel) and the
+    batch engine's single shared trace pass below it; otherwise — a concrete engine
     was requested, or the slab mixes policy families — each cell runs
     through :func:`select_engine` individually.  ``backend`` picks the
     kernel tier's execution backend (``core/backends.py``; validated
@@ -1796,16 +2111,11 @@ def run_slab(
     if wants_slab and len(cells) > 1:
         plan = batch._slab_plan(trace, model, factory, cells, policies=policies)
         if plan is not None:
-            kernel_able = bool(plan[1])     # Wang plans carry no predictors
-            if wants_kernel:
-                if kernel_able:
-                    return _run_plan_observed("kernel", trace, model, plan, backend)
-                # explicit "kernel" on a Wang slab stays strict: fall
-                # through to the per-cell loop, which raises
-            elif engine == "auto" and kernel_able and len(trace) >= KERNEL_SLAB_MIN_M:
+            if wants_kernel or (
+                engine == "auto" and len(trace) >= KERNEL_SLAB_MIN_M
+            ):
                 return _run_plan_observed("kernel", trace, model, plan, backend)
-            else:
-                return _run_plan_observed("batch", trace, model, plan)
+            return _run_plan_observed("batch", trace, model, plan)
     # per-cell fallback: "auto" keeps auto-selecting; a concrete engine
     # (including explicit "batch") stays strict and raises on policies it
     # cannot execute, exactly as the scalar paths do
@@ -1851,10 +2161,12 @@ def run_policy_slab(
     work across eligible cells:
 
     * the **kernel** tier builds one :class:`_SegmentChains` for the
-      whole slab — per-duration shift columns are memoised on the
-      chains, so cells with different lambdas still share the segment
-      scan — and one cell-major prediction matrix with per-lambda truth
-      and per-seed draw memos (:meth:`PredictionStream.batch_for_cells`);
+      whole slab — per-duration shift columns and per-``(lam, rates)``
+      Wang cascade replays are memoised on the chains, so cells with
+      different lambdas still share the segment scan and mixed
+      Algorithm-1 + Wang fleets run as one single-tier slab — plus one
+      cell-major prediction matrix with per-lambda truth and per-seed
+      draw memos (:meth:`PredictionStream.batch_for_cells`);
     * the **batch** tier groups cells by *equal* cost model and runs
       each group as one vectorized trace pass (Wang groups share one
       scalar replay, exactly as :func:`run_slab` does).
@@ -1887,57 +2199,69 @@ def run_policy_slab(
     wants_kernel = engine == "kernel" or isinstance(engine, KernelCostEngine)
     if wants_slab and len(cells) > 1:
         kernel = _ENGINES["kernel"]
-        # Algorithm-1 cells a slab tier can take: kernel eligibility is
-        # exactly the batch tier's per-cell predicate minus Wang
-        alg1 = [
-            i
-            for i, (model, policy) in enumerate(cells)
-            if kernel.supports(trace, model, policy)
-        ]
+        # slab-eligible cells, split by replay shape: Algorithm-1 cells
+        # share one cell-major prediction matrix, Wang cells share one
+        # cascade replay per distinct (lam, rates) (memoised on the
+        # chains) — both ride the same backend dispatch
+        alg1: list[int] = []
+        wangs: list[int] = []
+        for i, (model, policy) in enumerate(cells):
+            if kernel.supports(trace, model, policy):
+                if type(policy) is WangReplication:
+                    wangs.append(i)
+                else:
+                    alg1.append(i)
         use_kernel = wants_kernel or (
             engine == "auto" and len(trace) >= KERNEL_SLAB_MIN_M
         )
-        if use_kernel and len(alg1) > 1:
-            rows = PredictionStream.batch_for_cells(
-                [
-                    (
-                        FixedPredictor(False)
-                        if type(cells[i][1]) is ConventionalReplication
-                        else cells[i][1].predictor,
-                        cells[i][0].lam,
-                    )
-                    for i in alg1
-                ],
-                trace,
-            )
-            assert rows is not None  # supports() vetted streamability
+        n_units = len(alg1) + len(wangs)
+        if use_kernel and n_units > 1:
+            rows = None
+            if alg1:
+                rows = PredictionStream.batch_for_cells(
+                    [
+                        (
+                            FixedPredictor(False)
+                            if type(cells[i][1]) is ConventionalReplication
+                            else cells[i][1].predictor,
+                            cells[i][0].lam,
+                        )
+                        for i in alg1
+                    ],
+                    trace,
+                )
+                assert rows is not None  # supports() vetted streamability
             # a caller-supplied engine instance keeps its own backend
             # unless an explicit backend= overrides it
             if isinstance(engine, KernelCostEngine) and backend is None:
                 kernel_eng = engine
             else:
                 kernel_eng = get_engine("kernel", backend=backend)
-            be = kernel_eng.backend_for(len(alg1), len(trace))
+            be = kernel_eng.backend_for(n_units, len(trace))
             prims = be.prims()
 
             def _kernel_slab() -> None:
                 chains = _SegmentChains(trace)
+                na = len(alg1)
 
                 def _one(k: int) -> tuple[float, float, int]:
-                    model, policy = cells[alg1[k]]
-                    return _kernel_algorithm1(
-                        chains,
-                        model.storage_rates[0],
-                        model.lam,
-                        policy.alpha,
-                        rows[k],
-                        True,
-                        None,
-                        prims,
-                    )
+                    if k < na:
+                        model, policy = cells[alg1[k]]
+                        return _kernel_algorithm1(
+                            chains,
+                            model.storage_rates[0],
+                            model.lam,
+                            policy.alpha,
+                            rows[k],
+                            True,
+                            None,
+                            prims,
+                        )
+                    model, _ = cells[wangs[k - na]]
+                    return _kernel_wang(chains, model, True, None, prims)
 
-                tuples = be.run_cells(len(alg1), _one)
-                for k, i in enumerate(alg1):
+                tuples = be.run_cells(n_units, _one)
+                for k, i in enumerate(alg1 + wangs):
                     model, policy = cells[i]
                     storage, transfer, n_tx = tuples[k]
                     results[i] = CostResult(
@@ -1954,13 +2278,13 @@ def run_policy_slab(
                 with _obs.span(
                     "engine.slab",
                     tier="kernel",
-                    cells=len(alg1),
+                    cells=n_units,
                     m=len(trace),
                     backend=be.name,
                 ):
                     _kernel_slab()
                 _obs.counter("repro_engine_cells_total", tier="kernel").inc(
-                    len(alg1)
+                    n_units
                 )
             else:
                 _kernel_slab()
@@ -1985,10 +2309,9 @@ def run_policy_slab(
                 for i, r in zip(idxs, runs):
                     results[i] = r
         if not wants_kernel:
-            # Wang cells ride the batch tier's shared scalar replay (it
-            # is prediction- and alpha-free, so one replay per model
-            # serves the group); explicit "kernel" stays strict and
-            # leaves them to the per-cell loop below, which raises
+            # below the kernel crossover Wang cells ride the batch
+            # tier's shared scalar replay (prediction- and alpha-free,
+            # so one replay per model serves the group)
             by_model = {}
             for i, (model, policy) in enumerate(cells):
                 if (
@@ -2113,8 +2436,9 @@ def select_engine(
                 if backend is not None:
                     chosen = _kernel_variant(backend)
             else:
-                # e.g. Wang's cross-server drop cascade: fast-path
-                # eligible but gated off the segment-scan tier
+                # fast-path eligible but not kernel-eligible (no such
+                # policy remains among the registered ones; kept for
+                # engines registered out of tree)
                 chosen = _ENGINES["batch"] if slab_size > 1 else fast
                 reason = "kernel_ineligible"
         else:

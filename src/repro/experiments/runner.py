@@ -318,8 +318,18 @@ def _fleet_chunk_task(chunk: Sequence[tuple]):
             model = CostModel(lam=lam, n=n)
             cells = [(model, factories[f](trace, model)) for f in fidxs]
             if _obs.enabled:
+                # tag with the backend the kernel tier would resolve for
+                # this sub-slab's shape, so `repro obs summary` groups
+                # fleet chunks per backend exactly like engine spans
+                be = backends.get_backend(backend).resolve(
+                    len(cells), len(trace)
+                )
                 with _obs.span(
-                    "fleet.chunk", objects=len(idxs), m=len(trace), lam=lam
+                    "fleet.chunk",
+                    objects=len(idxs),
+                    m=len(trace),
+                    lam=lam,
+                    backend=be.name,
                 ):
                     runs = run_policy_slab(trace, cells, engine, backend=backend)
             else:

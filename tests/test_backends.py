@@ -530,6 +530,90 @@ def test_cli_sweep_backend_flag(capsys):
     assert "alpha\\acc" in out
 
 
+def test_cli_fleet_env_backend_end_to_end(capsys, monkeypatch):
+    """REPRO_KERNEL_BACKEND steers `repro fleet run` end-to-end: every
+    backend produces the identical fleet report."""
+    from repro.cli import main
+
+    argv = [
+        "fleet", "run", "--scenario", "smoke", "--objects", "6",
+        "--templates", "2", "--workers", "1", "--no-optimal", "--quiet",
+        "--engine", "kernel",
+    ]
+    tables = []
+    with wide_budget():
+        for name in CONCRETE:
+            monkeypatch.setenv("REPRO_KERNEL_BACKEND", name)
+            assert main(list(argv)) == 0
+            out = capsys.readouterr().out
+            # keep the deterministic report table, drop the timing line
+            tables.append(out.split("\n6 objects,")[0])
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND")
+    assert tables[0] == tables[1] == tables[2]
+    assert "online" in tables[0]
+
+
+@st.composite
+def mixed_fleet_systems(draw):
+    """Small mixed Algorithm-1 + Wang fleets over shared templates."""
+    from repro import MultiObjectSystem, ObjectSpec
+    from repro.algorithms.wang import WangReplication
+
+    n = draw(st.integers(2, 4))
+    templates = []
+    for _ in range(draw(st.integers(1, 2))):
+        m = draw(st.integers(1, 12))
+        gaps = draw(st.lists(st.integers(1, 3), min_size=m, max_size=m))
+        servers = draw(
+            st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+        )
+        times = np.cumsum(np.asarray(gaps, dtype=float))
+        templates.append(Trace(n, list(zip(times.tolist(), servers))))
+
+    def la(trace, model):
+        return algorithm1_factory(trace, model.lam, 0.5, 1.0, 0)
+
+    def conv(trace, model):
+        return ConventionalReplication()
+
+    def wang(trace, model):
+        return WangReplication()
+
+    k = draw(st.integers(2, 6))
+    specs = [
+        ObjectSpec(
+            f"o{i:02d}",
+            templates[draw(st.integers(0, len(templates) - 1))],
+            draw(st.sampled_from([0.5, 2.0, 8.0])),
+            draw(st.sampled_from([la, conv, wang])),
+        )
+        for i in range(k)
+    ]
+    return MultiObjectSystem(n, specs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(mixed_fleet_systems())
+def test_mixed_fleet_bit_identity_across_backends(system):
+    """Mixed Algorithm-1 + Wang fleet slabs: serial == grouped ==
+    sharded, per object, under every execution backend."""
+    from repro.experiments import ExperimentRunner
+
+    serial = system.run(engine="fast", compute_optimal=False)
+    base = [o.result.total_cost for o in serial.outcomes]
+    with wide_budget():
+        for name in CONCRETE:
+            grouped = system.run(
+                engine="kernel", compute_optimal=False, grouped=True,
+                backend=name,
+            )
+            assert [o.result.total_cost for o in grouped.outcomes] == base
+            sharded = ExperimentRunner(workers=1, backend=name).run_fleet(
+                system, engine="kernel", compute_optimal=False
+            )
+            assert [o.result.total_cost for o in sharded.outcomes] == base
+
+
 def test_engine_spans_tagged_with_backend():
     from repro.obs import metrics as _obs
 
@@ -572,6 +656,66 @@ def test_obs_summary_groups_by_backend():
     assert "engine.slab{backend=threads}" in out
     # untagged spans keep the bare name
     assert "\n  engine.slab  " in out or "engine.slab " in out
+
+
+def test_fleet_chunk_spans_tagged_with_backend():
+    """fleet.chunk spans carry the resolved kernel backend, so `repro
+    obs summary` groups fleet telemetry per backend exactly like the
+    engine.slab spans (satellite fix)."""
+    from repro import MultiObjectSystem, ObjectSpec
+    from repro.experiments import ExperimentRunner
+    from repro.obs import metrics as _obs
+    from repro.obs.exporters import summarize
+
+    tr = uniform_random_trace(n=3, m=40, horizon=100.0, seed=3)
+    specs = [
+        ObjectSpec(
+            f"o{i}", tr, 5.0,
+            lambda trace, model: ConventionalReplication(),
+        )
+        for i in range(4)
+    ]
+    system = MultiObjectSystem(3, specs)
+    runner = ExperimentRunner(workers=1, backend="numpy")
+    with _obs.enabled_scope():
+        runner.run_fleet(system, engine="kernel", compute_optimal=False)
+        snap = _obs.drain()
+    chunk_spans = [s for s in snap["spans"] if s["name"] == "fleet.chunk"]
+    assert chunk_spans and all(
+        s["tags"]["backend"] == "numpy" for s in chunk_spans
+    )
+    assert "fleet.chunk{backend=numpy}" in summarize(snap)
+
+
+def test_auto_never_threads_on_single_core():
+    """With a thread budget of 1 `auto` must not pick the threads
+    backend, whatever the slab shape — one worker thread is pure
+    overhead over the serial numpy path."""
+    auto = AutoBackend()
+    with wide_budget(1):
+        for n_cells, m in ((121, 10_000), (1024, 1_000_000), (16, 256)):
+            assert auto.resolve(n_cells, m).name != "threads"
+
+
+def test_bench_thread_counts_never_oversubscribe(monkeypatch):
+    """The backends bench sweeps thread budgets only up to the core
+    count: on a single-core box the sweep is empty, so the recorded
+    report cannot claim a bogus oversubscribed threads win."""
+    import importlib.util
+    import os
+
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "bench_backends.py"
+    )
+    spec = importlib.util.spec_from_file_location("_bench_backends", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    cores = os.cpu_count() or 1
+    assert all(2 <= t <= cores for t in mod._thread_counts())
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert mod._thread_counts() == []
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    assert mod._thread_counts() == [2, 8]
 
 
 def test_bench_discovery_includes_backends_suite():

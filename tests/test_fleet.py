@@ -3,8 +3,8 @@ streaming aggregates, chunking, and the fleet CLI.
 
 The load-bearing property is bit-identity: grouped slab evaluation,
 sharded worker dispatch, and streaming aggregation must reproduce the
-serial per-object reference loop float-for-float, including the Wang
-engine-fallback cells that no slab tier can take.
+serial per-object reference loop float-for-float, including mixed
+Algorithm-1 + Wang fleets, which ride the kernel tier as one slab.
 """
 
 from __future__ import annotations
@@ -18,7 +18,6 @@ from repro import ConventionalReplication, Trace, TraceError
 from repro.algorithms.wang import WangReplication
 from repro.analysis.sweep import algorithm1_factory
 from repro.cli import main
-from repro.core.engine import EngineError
 from repro.experiments import ExperimentRunner
 from repro.experiments.cache import trace_digest
 from repro.system import (
@@ -58,7 +57,7 @@ FACTORIES = [la_oracle, la_noisy, conventional, wang]
 @st.composite
 def fleet_systems(draw, max_objects=8):
     """A small fleet mixing templates, lambdas, and policies (incl.
-    Wang — the cell no slab tier can take)."""
+    Wang, which shares the kernel slab via the cascade replay)."""
     n = draw(st.integers(2, 4))
     templates = []
     for _ in range(draw(st.integers(1, 3))):
@@ -149,17 +148,20 @@ class TestFleetBitIdentity:
         kernel = system.run(engine="kernel", grouped=True)
         _assert_outcomes_equal(serial, kernel)
 
-    def test_strict_kernel_raises_on_wang(self):
+    def test_strict_kernel_takes_mixed_wang_fleet(self):
+        """A heterogeneous Algorithm-1 + Wang fleet is a single-tier
+        kernel slab now — no scalar fallback, bit-identical costs."""
         tr = uniform_random_trace(3, 30, horizon=60.0, seed=0)
         specs = [
             ObjectSpec("a", tr, 5.0, la_oracle),
             ObjectSpec("b", tr, 5.0, wang),
+            ObjectSpec("c", tr, 25.0, wang),
+            ObjectSpec("d", tr, 25.0, conventional),
         ]
         system = MultiObjectSystem(3, specs)
-        with pytest.raises(EngineError):
-            system.run(engine="kernel", grouped=True)
-        # "auto" completes the same fleet via per-cell fallback
         serial = system.run(engine="fast")
+        kernel = system.run(engine="kernel", grouped=True)
+        _assert_outcomes_equal(serial, kernel)
         auto = system.run(engine="auto", grouped=True)
         _assert_outcomes_equal(serial, auto)
 

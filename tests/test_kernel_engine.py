@@ -4,13 +4,14 @@ The contract under test (core/engine.py DESIGN): the loop-free
 :class:`KernelCostEngine` must reproduce the scalar
 :class:`FastCostEngine` — and therefore the batch engine and the
 reference event-driven simulator — *bit for bit*, per cell, for every
-kernel-eligible policy (Algorithm 1 with streamable predictors and the
-conventional baseline) on arbitrary instances, drain configurations,
-and slabs; Wang's baseline must be honestly gated out of ``supports()``
-and fall back through ``select_engine``; and the layers above
-(``select_engine`` crossovers, ``run_slab``, ``sweep_grid``,
-``ExperimentRunner``, the CLI, the ``repro bench`` discovery) must
-route onto the kernel where it wins.
+kernel-eligible policy (Algorithm 1 with streamable predictors, the
+conventional baseline, and Wang's baseline via the cascade kernel) on
+arbitrary instances, drain configurations, and slabs; ``supports()``
+has no policy exclusions left, so ``select_engine`` routes every
+registered policy onto the kernel above the crossovers; and the layers
+above (``run_slab``, ``sweep_grid``, ``ExperimentRunner``, the CLI,
+the ``repro bench`` discovery) must route onto the kernel where it
+wins.
 
 The vectorized brute-force offline search (satellite) is pinned against
 its kept loop reference here too.
@@ -218,7 +219,85 @@ def test_drain_configurations_bit_identity(inst, alpha, drain, cap):
 
 
 # ----------------------------------------------------------------------
-# eligibility: Wang and history predictors are honestly gated out
+# Wang's baseline on the cascade kernel
+# ----------------------------------------------------------------------
+
+
+def _wang_factory(trace, lam, alpha, accuracy, seed):
+    return WangReplication()
+
+
+@st.composite
+def wang_instances(draw):
+    """Tie-prone traces with ascending (possibly distinct) storage
+    rates and quantized lambdas: expiries collide exactly with request
+    times and with each other, and small periods provoke the die-out
+    cascade (grace renewals, ship-to-zero transfers, drop chains)."""
+    trace = draw(tie_prone_traces())
+    lam = draw(st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0]))
+    rates = tuple(
+        sorted(
+            draw(
+                st.lists(
+                    st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+                    min_size=trace.n,
+                    max_size=trace.n,
+                )
+            )
+        )
+    )
+    return trace, CostModel(lam=lam, n=trace.n, storage_rates=rates)
+
+
+@settings(max_examples=60, deadline=None)
+@given(wang_instances(), st.integers(2, 4))
+def test_wang_slab_bit_identity(inst, k):
+    """Kernel == fast == batch == reference per cell for Wang, on the
+    instances most likely to hit the episode machine."""
+    trace, model = inst
+    cells = [(0.5, 1.0, s) for s in range(k)]
+    assert_kernel_matches_scalar(
+        trace, model, _wang_factory, cells, check_reference=True
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(wang_instances(), st.booleans(),
+       st.one_of(st.none(), st.integers(0, 8)))
+def test_wang_drain_configurations_bit_identity(inst, drain, cap):
+    """drain=False and binding event caps replay the scalar cascade
+    semantics, including cap-stranded copies and mid-drain ships."""
+    trace, model = inst
+    k = KERNEL.run(
+        trace, model, WangReplication(), drain=drain, drain_event_cap=cap
+    )
+    f = FAST.run(
+        trace, model, WangReplication(), drain=drain, drain_event_cap=cap
+    )
+    assert k.storage_cost == f.storage_cost
+    assert k.transfer_cost == f.transfer_cost
+    assert k.n_transfers == f.n_transfers
+    assert k.engine == "kernel"
+
+
+@settings(max_examples=25, deadline=None)
+@given(wang_instances())
+def test_wang_bit_identity_across_backends(inst):
+    """Every execution backend replays the cascade bit-identically
+    (numba exercises its fallback wrapper when unavailable)."""
+    trace, model = inst
+    f = FAST.run(trace, model, WangReplication())
+    for backend in ("numpy", "threads", "numba"):
+        k = KernelCostEngine(backend=backend).run(
+            trace, model, WangReplication()
+        )
+        assert k.storage_cost == f.storage_cost, backend
+        assert k.transfer_cost == f.transfer_cost, backend
+        assert k.n_transfers == f.n_transfers, backend
+
+
+# ----------------------------------------------------------------------
+# eligibility: history predictors are honestly gated out; Wang is in
 # ----------------------------------------------------------------------
 
 
@@ -238,10 +317,21 @@ class TestSupports:
         )
         assert KERNEL.supports(self.trace, self.model, ConventionalReplication())
 
-    def test_wang_not_supported(self):
-        assert not KERNEL.supports(self.trace, self.model, WangReplication())
-        with pytest.raises(EngineError, match="KernelCostEngine"):
-            KERNEL.run(self.trace, self.model, WangReplication())
+    def test_wang_supported_and_bit_identical(self):
+        assert KERNEL.supports(self.trace, self.model, WangReplication())
+        k = KERNEL.run(self.trace, self.model, WangReplication())
+        f = FAST.run(self.trace, self.model, WangReplication())
+        assert k.engine == "kernel"
+        assert k.storage_cost == f.storage_cost
+        assert k.transfer_cost == f.transfer_cost
+        assert k.n_transfers == f.n_transfers
+
+    def test_wang_descending_rates_not_supported(self):
+        # Wang's server-ordering assumption still gates bad models
+        model = CostModel(lam=20.0, n=4, storage_rates=(2.0, 1.5, 1.0, 0.5))
+        assert not KERNEL.supports(self.trace, model, WangReplication())
+        with pytest.raises(Exception, match="ascending"):
+            KERNEL.run(self.trace, model, WangReplication())
 
     def test_history_predictor_not_supported(self):
         pol = LearningAugmentedReplication(SlidingWindowPredictor(5), 0.5)
@@ -254,17 +344,16 @@ class TestSupports:
         pol = LearningAugmentedReplication(OraclePredictor(self.trace), 0.5)
         assert not KERNEL.supports(self.trace, model, pol)
 
-    def test_wang_slab_rejected_but_batch_accepts(self):
+    def test_wang_slab_accepted_by_both_slab_tiers(self):
         def wang_factory(trace, lam, alpha, accuracy, seed):
             return WangReplication()
 
         cells = [(0.5, 1.0, 0), (0.5, 1.0, 1)]
-        assert not KERNEL.supports_slab(
-            self.trace, self.model, wang_factory, cells
-        )
+        assert KERNEL.supports_slab(self.trace, self.model, wang_factory, cells)
         assert BATCH.supports_slab(self.trace, self.model, wang_factory, cells)
-        with pytest.raises(EngineError, match="cannot evaluate"):
-            KERNEL.run_slab(self.trace, self.model, wang_factory, cells)
+        assert_kernel_matches_scalar(
+            self.trace, self.model, wang_factory, cells, check_reference=True
+        )
 
 
 # ----------------------------------------------------------------------
@@ -297,13 +386,17 @@ class TestSelection:
             self.small, self.model, pol, "auto", slab_size=8
         ) is get_engine("batch")
 
-    def test_wang_falls_back_through_select_engine(self):
-        """Ineligible-for-kernel policies keep their previous tiers even
-        on huge traces: fast for single runs, batch for slabs."""
+    def test_wang_rides_kernel_through_select_engine(self):
+        """select_engine never falls back for Wang: kernel above the
+        crossovers, fast/batch only below them (like every policy)."""
         pol = WangReplication()
-        assert select_engine(self.big, self.model, pol) is get_engine("fast")
+        assert select_engine(self.big, self.model, pol) is get_engine("kernel")
         assert select_engine(
             self.big, self.model, pol, "auto", slab_size=8
+        ) is get_engine("kernel")
+        assert select_engine(self.small, self.model, pol) is get_engine("fast")
+        assert select_engine(
+            self.small, self.model, pol, "auto", slab_size=8
         ) is get_engine("batch")
 
     def test_history_policy_falls_back_to_reference(self):
@@ -333,21 +426,25 @@ class TestSelection:
         )
         assert all(r.engine == "kernel" for r in runs)
 
-    def test_run_slab_explicit_kernel_on_wang_raises(self):
+    def test_run_slab_explicit_kernel_on_wang(self):
         def wang_factory(trace, lam, alpha, accuracy, seed):
             return WangReplication()
 
         cells = [(0.5, 1.0, 0), (0.5, 1.0, 1)]
-        with pytest.raises(EngineError):
-            run_slab(
-                self.small, self.model, cells, wang_factory, engine="kernel"
-            )
-        # auto routes the same Wang slab onto the batch tier instead
-        runs = run_slab(self.small, self.model, cells, wang_factory)
         fast = FAST.run(self.small, self.model, WangReplication())
-        for r in runs:
+        runs = run_slab(
+            self.small, self.model, cells, wang_factory, engine="kernel"
+        )
+        assert all(r.engine == "kernel" for r in runs)
+        # auto keeps the short Wang slab on the batch tier, same costs
+        auto_runs = run_slab(self.small, self.model, cells, wang_factory)
+        for r in list(runs) + list(auto_runs):
             assert r.storage_cost == fast.storage_cost
             assert r.transfer_cost == fast.transfer_cost
+        big_runs = run_slab(
+            self.big, self.model, cells, wang_factory, engine="auto"
+        )
+        assert all(r.engine == "kernel" for r in big_runs)
 
 
 # ----------------------------------------------------------------------
@@ -357,12 +454,11 @@ class TestSelection:
 
 def test_all_registered_scenarios_kernel_equivalent_where_supported():
     """Every registered scenario's smoke subset: kernel == fast == batch
-    per cell wherever the slab is kernel-eligible (everything except the
-    Wang baseline grid)."""
+    per cell wherever the slab is kernel-eligible — and batch-eligible
+    now implies kernel-eligible (no policy is gated off the kernel)."""
     from repro.experiments import list_scenarios
 
     kernel_covered = 0
-    wang_excluded = 0
     for scenario in list_scenarios():
         lam = scenario.lambdas[0]
         alpha = scenario.alphas[0]
@@ -371,18 +467,18 @@ def test_all_registered_scenarios_kernel_equivalent_where_supported():
         trace = scenario.build_trace(lam=lam, alpha=alpha, accuracy=acc, seed=seed)
         model = CostModel(lam=lam, n=trace.n)
         cells = [(alpha, acc, seed), (scenario.alphas[-1], acc, seed)]
+        if BATCH.supports_slab(trace, model, scenario.policy_factory, cells):
+            assert KERNEL.supports_slab(
+                trace, model, scenario.policy_factory, cells
+            )
         if KERNEL.supports_slab(trace, model, scenario.policy_factory, cells):
             assert_kernel_matches_scalar(
                 trace, model, scenario.policy_factory, cells
             )
             kernel_covered += 1
-        elif BATCH.supports_slab(trace, model, scenario.policy_factory, cells):
-            # the kernel-ineligible-but-batchable slabs are Wang's
-            wang_excluded += 1
-            policies = [
-                scenario.policy_factory(trace, lam, *cell) for cell in cells
-            ]
-            assert {type(p) for p in policies} == {WangReplication}
+        # Wang-kernel identity on every registered scenario's trace
+        wf = lambda tr, lm, a, ac, sd: WangReplication()  # noqa: E731
+        assert_kernel_matches_scalar(trace, model, wf, cells[:1] * 2)
     # the paper grids, smoke, tight examples, adversary, and the
     # synthetic workload grids must all ride the kernel path
     assert kernel_covered >= 11
